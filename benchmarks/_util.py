@@ -1,0 +1,27 @@
+"""Shared plumbing for the figure benchmarks.
+
+Each benchmark runs its experiment exactly once under pytest-benchmark
+(the timing is the harness cost of regenerating the figure, not a claim
+about the simulated system), prints the reproduced rows, and saves them
+under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Tuple
+
+from repro.bench.report import Table
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def run_figure(benchmark, fn: Callable, name: str) -> Tuple[Table, ...]:
+    """Run one experiment once, print + persist its tables."""
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    tables = result if isinstance(result, tuple) else (result,)
+    for i, table in enumerate(tables):
+        suffix = f"_{i}" if len(tables) > 1 else ""
+        table.save(f"{name}{suffix}", directory=RESULTS_DIR)
+        print("\n" + table.render())
+    return tables

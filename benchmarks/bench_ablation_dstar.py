@@ -1,0 +1,24 @@
+"""Ablation — fixed maximum out-degree sweep.
+
+Justifies deriving d* from the M/D/1 model: the throughput/stability
+knee lands exactly at the model's d*.
+"""
+
+from _util import run_figure
+from repro.bench.ablations import ablation_dstar
+
+
+def test_ablation_dstar(benchmark):
+    (table,) = run_figure(benchmark, ablation_dstar, "ablation_dstar")
+    # Extract the model's d* from the title.
+    model_d = int(table.title.rstrip(")").split("d* = ")[1])
+    rows = {row[0]: row for row in table.rows}
+    # At or below the model's d*: stable (no loss, queue below capacity).
+    assert rows[model_d][4] == 0
+    assert rows[model_d][3] < 1.0
+    # Above it: the transfer queue saturates and tuples are lost.
+    above = model_d + 1
+    if above in rows:
+        assert rows[above][3] >= 0.99
+        assert rows[above][4] > 0
+        assert rows[above][1] < rows[model_d][1]

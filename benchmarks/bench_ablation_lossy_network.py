@@ -1,0 +1,20 @@
+"""Robustness ablation — in-flight message loss (not in the paper)."""
+
+from _util import run_figure
+from repro.bench.faults import ablation_lossy_network
+
+
+def test_ablation_lossy_network(benchmark):
+    (table,) = run_figure(benchmark, ablation_lossy_network, "ablation_loss")
+    rows = table.rows
+    # Columns: loss, storm frac, whale frac, storm lost, whale lost.
+    # Full delivery degrades as loss grows, for both systems.
+    assert rows[-1][1] < rows[0][1]
+    assert rows[-1][2] < rows[0][2]
+    # Whale loses far fewer wire messages (it sends far fewer)...
+    assert rows[-1][4] < rows[-1][3]
+    # ...yet its relay tree amplifies each loss: delivery fraction is in
+    # the same ballpark as Storm's, not proportionally better.
+    assert abs(rows[-1][2] - rows[-1][1]) < 0.15
+    # No injected loss, no lost messages.
+    assert rows[0][3] == 0 and rows[0][4] == 0

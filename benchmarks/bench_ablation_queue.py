@@ -1,0 +1,23 @@
+"""Ablation — transfer-queue capacity Q with the adaptive controller.
+
+Eq. (3): larger Q affords a larger d*; the controller's converged d*
+tracks the model, tiny queues lose tuples, huge queues pay latency.
+"""
+
+from _util import run_figure
+from repro.bench.ablations import ablation_queue_capacity
+
+
+def test_ablation_queue_capacity(benchmark):
+    (table,) = run_figure(benchmark, ablation_queue_capacity, "ablation_queue")
+    rows = table.rows
+    # Converged d* is non-decreasing in Q and stays within 1 of the model.
+    converged = [r[2] for r in rows]
+    assert converged == sorted(converged)
+    for r in rows:
+        assert abs(r[2] - r[1]) <= 1
+    # The tiniest queue drops tuples; a moderate queue does not.
+    assert rows[0][5] > 0
+    assert rows[2][5] == 0
+    # A huge queue buys stability at a latency cost vs the moderate one.
+    assert rows[3][4] > rows[2][4]

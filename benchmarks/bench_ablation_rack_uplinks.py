@@ -1,0 +1,20 @@
+"""Robustness ablation — rack sweep with an oversubscribed core
+(explains why the paper's Figs. 33/34 are flat)."""
+
+from _util import run_figure
+from repro.bench.faults import ablation_oversubscribed_racks
+
+
+def test_ablation_oversubscribed_racks(benchmark):
+    (table,) = run_figure(
+        benchmark, ablation_oversubscribed_racks, "ablation_racks"
+    )
+    n = 3  # systems per metric group
+    whale_thru = [row[3] for row in table.rows]
+    # Whale stays stable across rack counts even with a 4:1 core.
+    assert max(whale_thru) < 1.2 * min(whale_thru)
+    # And the explanation holds: every uplink is far below saturation.
+    for row in table.rows[1:]:  # racks >= 3 have cross-rack traffic
+        for util in row[1 + n:]:
+            assert util < 0.5
+        assert any(util > 0 for util in row[1 + n:])

@@ -1,0 +1,20 @@
+"""Fig. 2 — the motivating experiment: Storm's one-to-many bottleneck.
+
+Regenerates throughput/latency vs parallelism, upstream-vs-downstream CPU
+utilization (Fig. 2c), and the upstream CPU-time breakdown (Fig. 2d).
+"""
+
+from _util import run_figure
+from repro.bench.experiments import fig02_storm_bottleneck
+
+
+def test_fig02_storm_bottleneck(benchmark):
+    (table,) = run_figure(benchmark, fig02_storm_bottleneck, "fig02")
+    rows = {row[0]: row for row in table.rows}
+    # Paper shape: throughput collapses ~10x from parallelism 30 to 480.
+    assert rows[480][1] < rows[30][1] / 5
+    # Fig 2c: upstream saturated, downstream idle at high parallelism.
+    assert rows[480][3] > 0.95
+    assert rows[480][4] < 0.2
+    # Fig 2d: serialization + packet processing dominate upstream CPU.
+    assert rows[480][5] + rows[480][6] > 0.8

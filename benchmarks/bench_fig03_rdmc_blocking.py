@@ -1,0 +1,20 @@
+"""Fig. 3 — RDMC's static binomial tree blocks under rising input rates."""
+
+from _util import run_figure
+from repro.bench.experiments import fig03_rdmc_blocking
+
+
+def test_fig03_rdmc_blocking(benchmark):
+    (table,) = run_figure(benchmark, fig03_rdmc_blocking, "fig03")
+    rates = [row[0] for row in table.rows]
+    thru = [row[1] for row in table.rows]
+    load = [row[3] for row in table.rows]
+    drops = [row[4] for row in table.rows]
+    # Throughput tracks the input at low rates...
+    assert thru[0] > 0.8 * rates[0]
+    # ...then stops increasing (plateau/decline) at high rates.
+    assert thru[-1] < rates[-1] * 0.8
+    assert abs(thru[-1] - thru[-2]) < 0.15 * thru[-2]
+    # The transfer queue blocks and tuples are lost (Definition 4).
+    assert load[-1] > 0.9
+    assert drops[-1] > 0

@@ -1,0 +1,14 @@
+"""Fig. 11 — Max Memory Size (MMS) sweep of the stream-slicing batcher."""
+
+from _util import run_figure
+from repro.bench.experiments import fig11_mms
+
+
+def test_fig11_mms(benchmark):
+    (table,) = run_figure(benchmark, fig11_mms, "fig11")
+    lat = [row[2] for row in table.rows]
+    thru = [row[1] for row in table.rows]
+    # Latency is non-decreasing in MMS (more waiting for the buffer).
+    assert lat[0] <= min(lat[1:]) * 1.05
+    # Throughput does not degrade with MMS.
+    assert min(thru) > 0.9 * max(thru)

@@ -1,0 +1,14 @@
+"""Fig. 12 — Wait Time Limit (WTL) sweep of the stream-slicing batcher."""
+
+from _util import run_figure
+from repro.bench.experiments import fig12_wtl
+
+
+def test_fig12_wtl(benchmark):
+    (table,) = run_figure(benchmark, fig12_wtl, "fig12")
+    wtl = [row[0] for row in table.rows]
+    lat = [row[2] for row in table.rows]
+    # Paper: latency increases significantly with WTL...
+    assert lat[-1] > 5 * lat[0]
+    # ...roughly tracking the configured wait limit.
+    assert lat[-1] > wtl[-1] * 0.5

@@ -1,0 +1,29 @@
+"""Figs. 13/14 — end-to-end throughput & latency, on-demand ride-hailing.
+
+The paper's headline: at parallelism 480 Whale achieves 56.6x Storm's
+throughput and a 96.6% latency reduction.
+"""
+
+from _util import run_figure
+from repro.bench.experiments import fig13_14_ridehailing
+
+
+def test_fig13_14_ridehailing(benchmark):
+    thru, lat = run_figure(benchmark, fig13_14_ridehailing, "fig13_14")
+    by_p = {row[0]: row for row in thru.rows}
+    cols = thru.headers[1:]
+    storm = cols.index("storm") + 1
+    rdma = cols.index("rdma-storm") + 1
+    whale = cols.index("whale") + 1
+    # Storm's throughput declines with parallelism; Whale's rises.
+    ps = sorted(by_p)
+    assert by_p[ps[-1]][storm] < by_p[ps[0]][storm]
+    assert by_p[ps[-1]][whale] > by_p[ps[0]][whale]
+    # Headline factor: order of the paper's 56.6x (within ~2x).
+    speedup = by_p[480][whale] / by_p[480][storm]
+    assert 25 < speedup < 120
+    # RDMA-based Storm sits in between (paper: Whale is ~15x it).
+    assert by_p[480][storm] < by_p[480][rdma] < by_p[480][whale]
+    # Latency: Whale cuts Storm's by >90% at 480 (paper: 96.6%).
+    lby_p = {row[0]: row for row in lat.rows}
+    assert lby_p[480][whale] < 0.1 * lby_p[480][storm]

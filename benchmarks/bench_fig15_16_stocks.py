@@ -1,0 +1,21 @@
+"""Figs. 15/16 — end-to-end throughput & latency, stock exchange.
+
+Paper: 51.2x over Storm, 16x over RDMA-based Storm, -96.5% latency.
+"""
+
+from _util import run_figure
+from repro.bench.experiments import fig15_16_stocks
+
+
+def test_fig15_16_stocks(benchmark):
+    thru, lat = run_figure(benchmark, fig15_16_stocks, "fig15_16")
+    cols = thru.headers[1:]
+    storm = cols.index("storm") + 1
+    whale = cols.index("whale") + 1
+    by_p = {row[0]: row for row in thru.rows}
+    ps = sorted(by_p)
+    assert by_p[ps[-1]][storm] < by_p[ps[0]][storm]
+    speedup = by_p[480][whale] / by_p[480][storm]
+    assert 20 < speedup < 120
+    lby_p = {row[0]: row for row in lat.rows}
+    assert lby_p[480][whale] < 0.1 * lby_p[480][storm]

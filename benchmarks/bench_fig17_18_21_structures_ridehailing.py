@@ -1,0 +1,27 @@
+"""Figs. 17/18/21 — multicast structure comparison (ride-hailing).
+
+Sequential (Storm) vs binomial (RDMC) vs Whale's non-blocking tree, all
+implemented on top of Whale-WOC-RDMA as in the paper.
+"""
+
+from _util import run_figure
+from repro.bench.experiments import fig17_18_21_structures_ridehailing
+
+
+def test_fig17_18_21_structures_ridehailing(benchmark):
+    thru, lat, mcast = run_figure(
+        benchmark, fig17_18_21_structures_ridehailing, "fig17_18_21"
+    )
+    cols = thru.headers[1:]
+    seq = cols.index("sequential") + 1
+    bino = cols.index("binomial") + 1
+    nb = cols.index("nonblocking") + 1
+    last = thru.rows[-1]  # parallelism 480
+    # Paper Fig 17: nonblocking 1.2x binomial, 1.4x sequential.
+    assert last[nb] > 1.05 * last[bino]
+    assert last[nb] > 1.3 * last[seq]
+    # Paper Fig 21: nonblocking has the lowest average multicast latency.
+    mlast = mcast.rows[-1]
+    assert mlast[nb] < mlast[bino] < mlast[seq]
+    # Paper: ~54% below binomial at 480 — ours is at least 30% below.
+    assert mlast[nb] < 0.7 * mlast[bino]

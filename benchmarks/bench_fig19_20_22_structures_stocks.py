@@ -1,0 +1,20 @@
+"""Figs. 19/20/22 — multicast structure comparison (stock exchange)."""
+
+from _util import run_figure
+from repro.bench.experiments import fig19_20_22_structures_stocks
+
+
+def test_fig19_20_22_structures_stocks(benchmark):
+    thru, lat, mcast = run_figure(
+        benchmark, fig19_20_22_structures_stocks, "fig19_20_22"
+    )
+    cols = thru.headers[1:]
+    seq = cols.index("sequential") + 1
+    bino = cols.index("binomial") + 1
+    nb = cols.index("nonblocking") + 1
+    last = thru.rows[-1]
+    # Paper Figs 19/20: 1.22x over binomial, 1.4x over sequential.
+    assert last[nb] > 1.05 * last[bino]
+    assert last[nb] > 1.3 * last[seq]
+    mlast = mcast.rows[-1]
+    assert mlast[nb] < mlast[bino] < mlast[seq]

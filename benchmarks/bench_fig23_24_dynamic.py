@@ -1,0 +1,35 @@
+"""Figs. 23/24 — highly dynamic streams and dynamic switching.
+
+The input rate steps 3k -> 6k -> 8k -> 10k -> 8k tuples/s (the scaled
+analogue of the paper's 30k -> 60k -> 80k -> 100k -> 80k).  Whale's
+self-adjusting non-blocking structure must re-derive d* at each step and
+switch without losing the stream; the static sequential multicast
+saturates.
+"""
+
+import math
+
+from _util import run_figure
+from repro.bench.experiments import fig23_24_dynamic
+
+
+def test_fig23_24_dynamic(benchmark):
+    whale, sequential = run_figure(benchmark, fig23_24_dynamic, "fig23_24")
+
+    def steady(table, t_lo, t_hi, col):
+        vals = [r[col] for r in table.rows if t_lo <= r[0] <= t_hi]
+        vals = [v for v in vals if not math.isnan(v)]
+        return sum(vals) / len(vals)
+
+    # Whale tracks every step of the input rate (col 2 = throughput).
+    assert steady(whale, 0.4, 1.0, 2) > 2_400
+    assert steady(whale, 3.5, 4.0, 2) > 8_500  # the 10k step
+    # The static sequential multicast saturates far below the input.
+    assert steady(sequential, 3.5, 4.0, 2) < 4_000
+    # Whale actually switched, both down and up.
+    notes = " ".join(whale.notes)
+    assert "scale_down" in notes and "scale_up" in notes
+    # Whale's latency recovers after each step (end of 10k step is
+    # steady, not divergent); sequential's does not.
+    assert steady(whale, 3.6, 4.0, 3) < 50
+    assert steady(sequential, 4.0, 5.0, 3) > steady(whale, 4.0, 5.0, 3)

@@ -1,0 +1,22 @@
+"""Figs. 27/28 — communication traffic per 10,000 generated tuples."""
+
+from _util import run_figure
+from repro.bench.experiments import fig27_28_traffic
+
+
+def test_fig27_28_traffic(benchmark):
+    ride, stocks = run_figure(benchmark, fig27_28_traffic, "fig27_28")
+    for table in (ride, stocks):
+        cols = table.headers[1:]
+        storm = cols.index("storm") + 1
+        rdma = cols.index("rdma-storm") + 1
+        whale = cols.index("whale") + 1
+        first, last = table.rows[0], table.rows[-1]
+        # Paper: ~90% traffic reduction at parallelism 480.
+        assert last[whale] < 0.15 * last[storm]
+        # Instance-oriented baselines grow ~linearly with parallelism
+        # (RDMA-based Storm keeps Storm's pattern: near-identical traffic).
+        assert last[storm] > 2.5 * first[storm]
+        assert abs(last[rdma] - last[storm]) < 0.1 * last[storm]
+        # Whale's traffic only grows by the 4-byte ids.
+        assert last[whale] < 1.6 * first[whale]

@@ -1,0 +1,12 @@
+"""Figs. 29/30 — one-sided vs two-sided RDMA verbs microbenchmark."""
+
+from _util import run_figure
+from repro.bench.experiments import fig29_30_verbs
+
+
+def test_fig29_30_verbs(benchmark):
+    (table,) = run_figure(benchmark, fig29_30_verbs, "fig29_30")
+    rows = {row[0]: row for row in table.rows}
+    # Paper: one-sided > two-sided; READ best on both axes.
+    assert rows["read"][1] > rows["write"][1] > rows["send"][1]
+    assert rows["read"][2] < rows["write"][2] < rows["send"][2]

@@ -1,0 +1,21 @@
+"""Figs. 31/32 — the verb-selection ablation (Whale_DiffVerbs).
+
+Paper: choosing suitable verbs per message class gives Whale 15.6x the
+throughput and 96% lower latency than RDMA-based Storm.
+"""
+
+from _util import run_figure
+from repro.bench.experiments import fig31_32_diffverbs
+
+
+def test_fig31_32_diffverbs(benchmark):
+    thru, lat = run_figure(benchmark, fig31_32_diffverbs, "fig31_32")
+    cols = thru.headers[1:]
+    rdma_storm = cols.index("rdma-storm") + 1
+    diffverbs = cols.index("whale-diffverbs") + 1
+    last = thru.rows[-1]  # parallelism 480
+    # Order of the paper's 15.6x (within ~2x).
+    speedup = last[diffverbs] / last[rdma_storm]
+    assert 7 < speedup < 40
+    llast = lat.rows[-1]
+    assert llast[diffverbs] < 0.25 * llast[rdma_storm]

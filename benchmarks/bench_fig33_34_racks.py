@@ -1,0 +1,15 @@
+"""Figs. 33/34 — sensitivity to the physical rack topology (1-5 racks)."""
+
+from _util import run_figure
+from repro.bench.experiments import fig33_34_racks
+
+
+def test_fig33_34_racks(benchmark):
+    thru, lat = run_figure(benchmark, fig33_34_racks, "fig33_34")
+    cols = thru.headers[1:]
+    whale = cols.index("whale") + 1
+    whale_thru = [row[whale] for row in thru.rows]
+    whale_lat = [row[whale] for row in lat.rows]
+    # Paper: Whale is stable from 1 to 5 racks.
+    assert max(whale_thru) < 1.2 * min(whale_thru)
+    assert max(whale_lat) < 1.5 * min(whale_lat)

@@ -1,0 +1,73 @@
+"""The multicast structures as pure algorithms — no simulation required.
+
+Builds the sequential, binomial (RDMC), and non-blocking (Whale,
+Algorithm 1) trees over the same destinations; prints their relay
+schedules, the L(t) capability series (Eq. 6/7), the M/D/1-derived d*
+(Eq. 1-5), and a dynamic-switching walkthrough (Fig. 8).
+
+Run:  python examples/multicast_trees.py
+"""
+
+from repro.multicast import (
+    MD1Model,
+    SOURCE,
+    build_binomial_tree,
+    build_nonblocking_tree,
+    build_sequential_tree,
+    capability_series,
+    completion_time_units,
+    max_affordable_input_rate,
+    plan_switch,
+)
+
+N = 30  # destination instances (one per worker on the paper's cluster)
+D_STAR = 3
+
+
+def show_tree(name, tree):
+    print(f"{name:12s} source degree={tree.out_degree(SOURCE):2d}  "
+          f"depth={tree.depth():2d}  "
+          f"completes in {completion_time_units(tree):2d} time units")
+
+
+def main():
+    dests = [f"T{i}" for i in range(1, N + 1)]
+
+    print(f"-- structures over {N} destinations --")
+    seq = build_sequential_tree(dests)
+    bino = build_binomial_tree(dests)
+    nonb = build_nonblocking_tree(dests, d_star=D_STAR)
+    show_tree("sequential", seq)
+    show_tree("binomial", bino)
+    show_tree(f"nonblocking", nonb)
+
+    print(f"\n-- multicast capability L(t), Eq. (6)/(7) --")
+    for d in (1, 2, 3, 5):
+        series = capability_series(d, N, t_max=10)
+        print(f"d*={d}:  {series}")
+
+    print("\n-- the M/D/1 model, Eq. (1)-(5) --")
+    te = 10e-6  # per-replica processing time
+    model = MD1Model(te=te, q_capacity=512)
+    for rate in (5_000, 20_000, 50_000, 90_000):
+        d = model.d_star(rate)
+        print(f"input rate {rate:7,d}/s -> d* = {d:2d}   "
+              f"(M at this degree: "
+              f"{max_affordable_input_rate(d, te, 512):8,.0f}/s)")
+
+    print("\n-- dynamic switching (Fig. 8) --")
+    tree = build_nonblocking_tree(dests, d_star=3)
+    print(f"start: d*=3, source degree {tree.out_degree(SOURCE)}, "
+          f"depth {tree.depth()}")
+    down, plan = plan_switch(tree, new_d_star=2)
+    print(f"negative scale-down to d*=2: {plan.n_ops} rewire ops, "
+          f"new depth {down.depth()}")
+    for op in plan.ops[:4]:
+        print(f"   move {op.node} from {op.old_parent} to {op.new_parent}")
+    up, plan_up = plan_switch(down, new_d_star=5)
+    print(f"active scale-up to d*=5: {plan_up.n_ops} rewire ops, "
+          f"new depth {up.depth()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Quickstart: build a topology with a one-to-many edge, run it on Whale,
+and compare against Apache Storm's instance-oriented communication.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import create_system, whale_full_config
+from repro.dsps import AllGrouping, Bolt, Spout, Topology, storm_config
+from repro.net import Cluster
+from repro.workloads import PoissonArrivals
+
+PARALLELISM = 64  # destination instances of the broadcast
+MACHINES = 8  # simulated 16-core machines
+RATE = 4_000.0  # offered broadcast rate, tuples/s
+
+
+class SensorSpout(Spout):
+    """A source emitting fixed-size telemetry tuples."""
+
+    payload_bytes = 150
+
+    def __init__(self):
+        self.sequence = 0
+
+    def next_tuple(self):
+        self.sequence += 1
+        return {"seq": self.sequence}, None, self.payload_bytes
+
+
+class AlertBolt(Bolt):
+    """Every instance watches every tuple (the one-to-many pattern)."""
+
+    base_service_s = 5e-6  # simulated per-tuple CPU
+
+    def __init__(self):
+        self.seen = 0
+
+    def execute(self, tup, collector):
+        self.seen += 1
+
+
+def build_topology() -> Topology:
+    topo = Topology("quickstart")
+    topo.add_spout("sensors", SensorSpout)
+    topo.add_bolt(
+        "alerts",
+        AlertBolt,
+        parallelism=PARALLELISM,
+        inputs={"sensors": AllGrouping()},  # broadcast: the paper's target
+        terminal=True,
+    )
+    return topo
+
+
+def measure(config):
+    system = create_system(
+        build_topology(),
+        config,
+        cluster=Cluster(MACHINES, 1, 16),
+        arrivals={"sensors": PoissonArrivals(RATE, np.random.default_rng(1))},
+    )
+    metrics = system.run_measured(warmup_s=0.3, measure_s=1.0)
+    source = system.source_executor("sensors")
+    return {
+        "throughput": metrics.completion.completed / metrics.window_duration,
+        "latency_ms": 1e3 * metrics.completion.summary().p50,
+        "multicast_ms": 1e3 * metrics.multicast.summary().p50,
+        "source_cpu": source.cpu.utilization(),
+        "traffic_MB": system.traffic_bytes("data") / 1e6,
+    }
+
+
+def main():
+    print(f"broadcasting {RATE:.0f} tuples/s to {PARALLELISM} instances "
+          f"on {MACHINES} machines\n")
+    for config in (storm_config(), whale_full_config()):
+        r = measure(config)
+        print(f"[{config.name}]")
+        print(f"  throughput          {r['throughput']:10.0f} tuples/s")
+        print(f"  processing latency  {r['latency_ms']:10.2f} ms (p50)")
+        print(f"  multicast latency   {r['multicast_ms']:10.2f} ms (p50)")
+        print(f"  source CPU util     {r['source_cpu']:10.2f}")
+        print(f"  data traffic        {r['traffic_MB']:10.2f} MB")
+        print()
+    print("Storm serializes and transmits the tuple once per destination")
+    print("instance; Whale serializes once per worker and relays through")
+    print("its self-adjusting non-blocking multicast tree.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Closed-form performance models.
+
+Independent of the simulator, these predict each variant's saturation
+throughput and multicast latency from the cost model alone.  They serve
+two purposes:
+
+* experiments use them to choose offered rates ("the maximum stream rate
+  the system can sustain", Section 5.1) without trial and error;
+* integration tests cross-check the DES against them — a disagreement
+  means either the simulation or the model is wrong.
+"""
+
+from repro.analytic.throughput import (
+    SystemShape,
+    downstream_capacity,
+    source_capacity,
+    source_service_time,
+    sustainable_rate,
+)
+from repro.analytic.latency import (
+    multicast_latency_estimate,
+    per_hop_time,
+    queueing_wait_md1,
+)
+
+__all__ = [
+    "SystemShape",
+    "downstream_capacity",
+    "multicast_latency_estimate",
+    "per_hop_time",
+    "queueing_wait_md1",
+    "source_capacity",
+    "source_service_time",
+    "sustainable_rate",
+]

@@ -1,0 +1,39 @@
+"""The paper's two evaluation applications as topologies.
+
+* :mod:`repro.apps.ridehailing` — on-demand ride-hailing (Fig. 4): driver
+  locations key-grouped, passenger requests **all-grouped** into matching
+  instances that join the two streams; an aggregation operator reduces
+  candidate matches.
+* :mod:`repro.apps.stocks` — stock exchange: a split operator validates
+  and routes buy/sell orders into matching instances (the one-to-many
+  edge), which keep per-symbol order books and emit executed trades; an
+  aggregation operator computes real-time trading volume.
+"""
+
+from repro.apps.ridehailing import (
+    AggregateBolt,
+    DriverLocationSpout,
+    MatchingBolt,
+    PassengerRequestSpout,
+    ride_hailing_topology,
+)
+from repro.apps.stocks import (
+    SplitBolt,
+    StockMatchingBolt,
+    StockOrderSpout,
+    VolumeBolt,
+    stock_exchange_topology,
+)
+
+__all__ = [
+    "AggregateBolt",
+    "DriverLocationSpout",
+    "MatchingBolt",
+    "PassengerRequestSpout",
+    "SplitBolt",
+    "StockMatchingBolt",
+    "StockOrderSpout",
+    "VolumeBolt",
+    "ride_hailing_topology",
+    "stock_exchange_topology",
+]

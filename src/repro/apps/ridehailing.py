@@ -1,0 +1,231 @@
+"""On-demand ride-hailing topology (the paper's Fig. 4).
+
+Two source streams:
+
+* ``driver_locations`` — key-grouped by driver id into matching
+  instances, which store the driver's latest position locally;
+* ``requests`` — **all-grouped**: every matching instance receives every
+  passenger request (the one-to-many edge Whale targets), joins it
+  against its local drivers, and emits its best local candidate;
+
+an ``aggregate`` operator (fields-grouped by request id) keeps the best
+candidate per request — "returns the most suitable driver".
+
+The *logic* is real (positions stored, nearest-driver search executed);
+the *performance* is simulated via ``service_time``.  For large
+parameter sweeps, ``compute_real_matches=False`` replaces the nearest
+-driver scan by an equivalent-cost sampled emission so wall-clock time
+stays manageable; the simulated economics are identical.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.dsps.api import Bolt, Collector, Spout, TupleContext
+from repro.dsps.grouping import AllGrouping, FieldsGrouping
+from repro.dsps.topology import Topology
+from repro.dsps.tuples import StreamTuple
+from repro.workloads.ridehailing import (
+    DRIVER_RECORD_BYTES,
+    REQUEST_RECORD_BYTES,
+    DriverLocationGenerator,
+    PassengerRequestGenerator,
+)
+
+#: Default service-time coefficients for the matching operator (seconds).
+MATCH_BASE_S = 150e-6  # fixed join overhead per request
+MATCH_PER_DRIVER_S = 0.4e-6  # per locally-stored driver scanned
+DRIVER_UPDATE_S = 2e-6  # store/refresh one driver position
+AGGREGATE_SERVICE_S = 5e-6
+MATCH_RADIUS = 0.05  # unit-square distance for a qualified driver
+
+
+class DriverLocationSpout(Spout):
+    """Emits driver location updates (key = driver id)."""
+
+    payload_bytes = DRIVER_RECORD_BYTES
+
+    def __init__(self, rng: Optional[np.random.Generator] = None, n_drivers: int = 60_000):
+        self.generator = DriverLocationGenerator(
+            rng if rng is not None else np.random.default_rng(7), n_drivers
+        )
+
+    def next_tuple(self):
+        rec = self.generator.next_record()
+        return rec, rec["driver_id"], DRIVER_RECORD_BYTES
+
+
+class PassengerRequestSpout(Spout):
+    """Emits passenger requests (broadcast downstream)."""
+
+    payload_bytes = REQUEST_RECORD_BYTES
+
+    def __init__(self, rng: Optional[np.random.Generator] = None, n_passengers: int = 500_000):
+        self.generator = PassengerRequestGenerator(
+            rng if rng is not None else np.random.default_rng(11), n_passengers
+        )
+
+    def next_tuple(self):
+        rec = self.generator.next_record()
+        return rec, None, REQUEST_RECORD_BYTES
+
+
+class MatchingBolt(Bolt):
+    """Joins the request stream against locally-stored driver locations."""
+
+    def __init__(
+        self,
+        expected_local_drivers: float,
+        compute_real_matches: bool = True,
+        match_base_s: float = MATCH_BASE_S,
+        match_per_driver_s: float = MATCH_PER_DRIVER_S,
+        emit_seed: int = 23,
+    ):
+        if expected_local_drivers < 0:
+            raise ValueError("expected_local_drivers must be >= 0")
+        self.expected_local_drivers = expected_local_drivers
+        self.compute_real_matches = compute_real_matches
+        self.match_base_s = match_base_s
+        self.match_per_driver_s = match_per_driver_s
+        self.drivers: Dict[int, Tuple[float, float]] = {}
+        self._rng = np.random.default_rng(emit_seed)
+        self.requests_seen = 0
+        self.matches_emitted = 0
+        self._parallelism = 1
+
+    def prepare(self, ctx: TupleContext) -> None:
+        self._parallelism = ctx.parallelism
+        self._rng = np.random.default_rng(23 + ctx.task_id)
+
+    # ------------------------------------------------------------------
+    def service_time(self, tup: StreamTuple) -> float:
+        if tup.key is not None and "driver_id" in _values(tup):
+            return DRIVER_UPDATE_S
+        # Join cost grows with the local driver partition: the simulated
+        # size when drivers haven't streamed in yet, the true size after.
+        local = max(len(self.drivers), int(self.expected_local_drivers))
+        return self.match_base_s + self.match_per_driver_s * local
+
+    def execute(self, tup: StreamTuple, collector: Collector) -> None:
+        values = _values(tup)
+        if "driver_id" in values:
+            self.drivers[values["driver_id"]] = (values["lat"], values["lon"])
+            return
+        self.requests_seen += 1
+        if self.compute_real_matches:
+            best = self._nearest_driver(values["lat"], values["lon"])
+            if best is None:
+                return
+            driver_id, distance = best
+            self.matches_emitted += 1
+            collector.emit(
+                values={
+                    "request_id": values["request_id"],
+                    "driver_id": driver_id,
+                    "distance": distance,
+                },
+                key=values["request_id"],
+                payload_bytes=48,
+                anchor=tup,
+            )
+        else:
+            # Sampled emission with the same expected match count
+            # (a handful of qualified drivers cluster-wide per request).
+            if self._rng.random() < 3.0 / self._parallelism:
+                self.matches_emitted += 1
+                collector.emit(
+                    values={
+                        "request_id": values["request_id"],
+                        "driver_id": int(self._rng.integers(1_000_000)),
+                        "distance": float(self._rng.random() * MATCH_RADIUS),
+                    },
+                    key=values["request_id"],
+                    payload_bytes=48,
+                    anchor=tup,
+                )
+
+    def _nearest_driver(self, lat: float, lon: float):
+        best_id, best_d = None, MATCH_RADIUS
+        for driver_id, (dlat, dlon) in self.drivers.items():
+            d = math.hypot(lat - dlat, lon - dlon)
+            if d < best_d:
+                best_id, best_d = driver_id, d
+        if best_id is None:
+            return None
+        return best_id, best_d
+
+
+class AggregateBolt(Bolt):
+    """Keeps the best candidate per request ("the most suitable driver")."""
+
+    base_service_s = AGGREGATE_SERVICE_S
+    max_open_requests = 50_000
+
+    def __init__(self) -> None:
+        self.best: Dict[int, Dict] = {}
+
+    def execute(self, tup: StreamTuple, collector: Collector) -> None:
+        values = _values(tup)
+        request_id = values["request_id"]
+        current = self.best.get(request_id)
+        if current is None or values["distance"] < current["distance"]:
+            self.best[request_id] = values
+        if len(self.best) > self.max_open_requests:
+            # Drop the oldest half (requests are long since answered).
+            for key in list(self.best)[: self.max_open_requests // 2]:
+                del self.best[key]
+
+
+def _values(tup: StreamTuple) -> Dict:
+    if not isinstance(tup.values, dict):
+        raise TypeError(
+            f"ride-hailing tuples carry dict values, got {type(tup.values)}"
+        )
+    return tup.values
+
+
+# ----------------------------------------------------------------------
+def ride_hailing_topology(
+    parallelism: int,
+    n_drivers: int = 60_000,
+    compute_real_matches: bool = True,
+    aggregate_parallelism: int = 4,
+    seed: int = 7,
+) -> Topology:
+    """The Fig. 4 topology at a given matching parallelism."""
+    if parallelism < 1:
+        raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+    expected_local = n_drivers / parallelism
+    topo = Topology("ride-hailing")
+    topo.add_spout(
+        "driver_locations",
+        lambda: DriverLocationSpout(np.random.default_rng(seed), n_drivers),
+    )
+    topo.add_spout(
+        "requests",
+        lambda: PassengerRequestSpout(np.random.default_rng(seed + 1)),
+    )
+    topo.add_bolt(
+        "matching",
+        lambda: MatchingBolt(
+            expected_local_drivers=expected_local,
+            compute_real_matches=compute_real_matches,
+        ),
+        parallelism=parallelism,
+        inputs={
+            "driver_locations": FieldsGrouping(),
+            "requests": AllGrouping(),
+        },
+    )
+    topo.add_bolt(
+        "aggregate",
+        AggregateBolt,
+        parallelism=aggregate_parallelism,
+        inputs={"matching": FieldsGrouping()},
+        terminal=True,
+    )
+    return topo

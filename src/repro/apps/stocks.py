@@ -1,0 +1,222 @@
+"""Stock-exchange topology (Section 5.1).
+
+``orders`` spout -> ``split`` (validates trading rules, labels buy/sell)
+-> ``matching`` (**all-grouped**: the one-to-many edge) -> ``volume``
+(real-time trading volume, terminal).
+
+Each matching instance owns the symbols that hash to it and maintains
+buy/sell order books for them; orders for other symbols are discarded on
+arrival (the broadcast delivers everything — that is precisely the
+one-to-many pattern whose cost the paper measures).  Matching crosses the
+book: a buy executes against the cheapest sell at or below its price.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dsps.api import Bolt, Collector, Spout, TupleContext
+from repro.dsps.grouping import AllGrouping, FieldsGrouping, ShuffleGrouping
+from repro.dsps.topology import Topology
+from repro.dsps.tuples import StreamTuple
+from repro.workloads.stocks import (
+    N_SYMBOLS,
+    ORDER_RECORD_BYTES,
+    StockOrderGenerator,
+)
+
+#: Service-time coefficients (seconds).
+SPLIT_SERVICE_S = 2e-6
+MATCH_BASE_S = 60e-6
+MATCH_PER_BOOK_ENTRY_S = 0.5e-6
+VOLUME_SERVICE_S = 4e-6
+#: Book entries retained per owned symbol (older orders expire).
+BOOK_DEPTH = 10
+
+
+class StockOrderSpout(Spout):
+    """Emits raw exchange records."""
+
+    payload_bytes = ORDER_RECORD_BYTES
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        n_symbols: int = N_SYMBOLS,
+    ):
+        self.generator = StockOrderGenerator(
+            rng if rng is not None else np.random.default_rng(13), n_symbols
+        )
+
+    def next_tuple(self):
+        rec = self.generator.next_record()
+        return rec, rec["symbol"], ORDER_RECORD_BYTES
+
+
+class SplitBolt(Bolt):
+    """Filters records violating trading rules; labels the two streams."""
+
+    base_service_s = SPLIT_SERVICE_S
+
+    def __init__(self) -> None:
+        self.filtered = 0
+
+    def execute(self, tup: StreamTuple, collector: Collector) -> None:
+        rec = tup.values
+        if not rec.get("valid", True):
+            self.filtered += 1
+            return
+        collector.emit(
+            values=rec,
+            key=rec["symbol"],
+            payload_bytes=ORDER_RECORD_BYTES,
+            anchor=tup,
+        )
+
+
+class StockMatchingBolt(Bolt):
+    """Per-symbol order books + matching for the symbols this task owns."""
+
+    def __init__(
+        self,
+        n_symbols: int = N_SYMBOLS,
+        match_base_s: float = MATCH_BASE_S,
+        match_per_entry_s: float = MATCH_PER_BOOK_ENTRY_S,
+        book_depth: int = BOOK_DEPTH,
+    ):
+        self.n_symbols = n_symbols
+        self.match_base_s = match_base_s
+        self.match_per_entry_s = match_per_entry_s
+        self.book_depth = book_depth
+        # symbol -> (buy max-heap as negated prices, sell min-heap).
+        self.buy_books: Dict[int, List[Tuple[float, int]]] = {}
+        self.sell_books: Dict[int, List[Tuple[float, int]]] = {}
+        self._task_index = 0
+        self._parallelism = 1
+        self._entries = 0
+        self.trades = 0
+        self.orders_owned = 0
+
+    def prepare(self, ctx: TupleContext) -> None:
+        self._task_index = ctx.task_index
+        self._parallelism = ctx.parallelism
+
+    # ------------------------------------------------------------------
+    def owns(self, symbol: int) -> bool:
+        digest = zlib.crc32(repr(symbol).encode("utf-8"))
+        return digest % self._parallelism == self._task_index
+
+    def book_entries(self) -> int:
+        """Open orders currently resting in this task's books."""
+        return self._entries
+
+    def service_time(self, tup: StreamTuple) -> float:
+        # Scan cost grows with the local books; before the books warm up,
+        # charge their steady-state expected size so sweeps are stationary.
+        expected = (self.n_symbols / self._parallelism) * self.book_depth
+        entries = max(self._entries, expected)
+        return self.match_base_s + self.match_per_entry_s * entries
+
+    # ------------------------------------------------------------------
+    def execute(self, tup: StreamTuple, collector: Collector) -> None:
+        rec = tup.values
+        symbol = rec["symbol"]
+        if not self.owns(symbol):
+            return  # broadcast delivered someone else's symbol
+        self.orders_owned += 1
+        buys = self.buy_books.setdefault(symbol, [])
+        sells = self.sell_books.setdefault(symbol, [])
+        price, qty = rec["price"], rec["quantity"]
+        if rec["side"] == "buy":
+            # Cross against the cheapest sell at or below our bid.
+            if sells and sells[0][0] <= price:
+                ask, ask_qty = heapq.heappop(sells)
+                self._entries -= 1
+                self._emit_trade(collector, tup, symbol, ask, min(qty, ask_qty))
+            else:
+                heapq.heappush(buys, (-price, qty))
+                self._entries += 1
+        else:
+            # Cross against the highest bid at or above our ask.
+            if buys and -buys[0][0] >= price:
+                bid, bid_qty = heapq.heappop(buys)
+                self._entries -= 1
+                self._emit_trade(collector, tup, symbol, -bid, min(qty, bid_qty))
+            else:
+                heapq.heappush(sells, (price, qty))
+                self._entries += 1
+        # Retire stale book entries beyond the depth limit.
+        while len(buys) > self.book_depth:
+            heapq.heappop(buys)
+            self._entries -= 1
+        while len(sells) > self.book_depth:
+            heapq.heappop(sells)
+            self._entries -= 1
+
+    def _emit_trade(
+        self, collector: Collector, tup: StreamTuple, symbol: int,
+        price: float, qty: int,
+    ) -> None:
+        self.trades += 1
+        collector.emit(
+            values={"symbol": symbol, "price": price, "quantity": qty},
+            key=symbol,
+            payload_bytes=32,
+            anchor=tup,
+        )
+
+
+class VolumeBolt(Bolt):
+    """Real-time trading volume of successful orders."""
+
+    base_service_s = VOLUME_SERVICE_S
+
+    def __init__(self) -> None:
+        self.volume: Dict[int, float] = {}
+        self.total_volume = 0.0
+
+    def execute(self, tup: StreamTuple, collector: Collector) -> None:
+        rec = tup.values
+        notional = rec["price"] * rec["quantity"]
+        self.volume[rec["symbol"]] = self.volume.get(rec["symbol"], 0.0) + notional
+        self.total_volume += notional
+
+
+# ----------------------------------------------------------------------
+def stock_exchange_topology(
+    parallelism: int,
+    n_symbols: int = N_SYMBOLS,
+    volume_parallelism: int = 4,
+    seed: int = 13,
+) -> Topology:
+    """The stock-exchange topology at a given matching parallelism."""
+    if parallelism < 1:
+        raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+    topo = Topology("stock-exchange")
+    topo.add_spout(
+        "orders", lambda: StockOrderSpout(np.random.default_rng(seed), n_symbols)
+    )
+    topo.add_bolt(
+        "split",
+        SplitBolt,
+        parallelism=1,
+        inputs={"orders": ShuffleGrouping()},
+    )
+    topo.add_bolt(
+        "matching",
+        lambda: StockMatchingBolt(n_symbols=n_symbols),
+        parallelism=parallelism,
+        inputs={"split": AllGrouping()},
+    )
+    topo.add_bolt(
+        "volume",
+        VolumeBolt,
+        parallelism=volume_parallelism,
+        inputs={"matching": FieldsGrouping()},
+        terminal=True,
+    )
+    return topo

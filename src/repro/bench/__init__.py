@@ -1,0 +1,37 @@
+"""Experiment harness.
+
+* :mod:`repro.bench.runner` — builds a system variant around one of the
+  two applications, drives it at its analytically-derived maximum
+  sustainable rate (the paper's protocol), and collects every metric of
+  Section 5.1.
+* :mod:`repro.bench.report` — renders rows/series in the paper's units.
+* :mod:`repro.bench.experiments` — one function per table/figure of the
+  paper; the ``benchmarks/`` directory wraps these in pytest-benchmark
+  entry points.
+"""
+
+from repro.bench.runner import (
+    AppRun,
+    downstream_service_estimate,
+    run_app,
+    sweep_offered_rate,
+)
+from repro.bench.report import Series, Table
+from repro.bench.ablations import ablation_dstar, ablation_queue_capacity
+from repro.bench.faults import (
+    ablation_lossy_network,
+    ablation_oversubscribed_racks,
+)
+
+__all__ = [
+    "AppRun",
+    "Series",
+    "Table",
+    "ablation_dstar",
+    "ablation_lossy_network",
+    "ablation_oversubscribed_racks",
+    "ablation_queue_capacity",
+    "downstream_service_estimate",
+    "run_app",
+    "sweep_offered_rate",
+]

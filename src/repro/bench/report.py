@@ -1,0 +1,96 @@
+"""Rendering experiment output in the paper's units.
+
+Tables render to aligned ASCII; every benchmark writes its rendering to
+``benchmarks/results/<figure>.txt`` as well as stdout, so EXPERIMENTS.md
+can cite exact reproduced numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """One paper table/figure rendered as rows."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *row: Any) -> None:
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table {self.title!r} has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        cells = [[_fmt(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append(
+            "  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def save(self, name: str, directory: Optional[str] = None) -> str:
+        """Write the rendering to ``<directory>/<name>.txt``; returns path."""
+        directory = directory or default_results_dir()
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render() + "\n")
+        return path
+
+
+@dataclass
+class Series:
+    """A time/parameter series (one figure line)."""
+
+    name: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.x.append(x)
+        self.y.append(y)
+
+    def as_rows(self) -> List[Sequence[Any]]:
+        return list(zip(self.x, self.y))
+
+
+def default_results_dir() -> str:
+    """benchmarks/results/ relative to the repository root."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "benchmarks", "results")

@@ -1,0 +1,39 @@
+"""Whale: the paper's contribution, assembled on the DSPS substrate.
+
+* :mod:`repro.core.batch` — the worker-oriented tuple formats (Fig. 9):
+  ``BatchTuple`` / ``WorkerMessage`` and destination grouping by worker.
+* :mod:`repro.core.monitor` — the statistics-monitoring module
+  (Section 4): ``StreamMonitor`` (alpha-weighted input-rate estimate) and
+  ``QueueMonitor`` (transfer-queue waterline tracking).
+* :mod:`repro.core.controller` — the multicast controller: the
+  queue-based self-adjusting mechanism (Section 3.3) driving dynamic
+  switching (Section 3.4) of the non-blocking multicast tree.
+* :mod:`repro.core.whale` — system presets for every Whale variant of the
+  evaluation and the builder that wires controllers to a system.
+"""
+
+from repro.core.batch import BatchTuple, WorkerMessage, group_tasks_by_machine
+from repro.core.controller import MulticastController, SwitchRecord
+from repro.core.monitor import QueueMonitor, StreamMonitor
+from repro.core.whale import (
+    create_system,
+    whale_diffverbs_config,
+    whale_full_config,
+    whale_woc_config,
+    whale_woc_rdma_config,
+)
+
+__all__ = [
+    "BatchTuple",
+    "MulticastController",
+    "QueueMonitor",
+    "StreamMonitor",
+    "SwitchRecord",
+    "WorkerMessage",
+    "create_system",
+    "group_tasks_by_machine",
+    "whale_diffverbs_config",
+    "whale_full_config",
+    "whale_woc_config",
+    "whale_woc_rdma_config",
+]

@@ -1,0 +1,163 @@
+"""The multicast controller (Sections 3.3, 3.4 and 4).
+
+One controller watches one multicast service (one one-to-many edge).  It
+periodically samples the source's transfer queue and input rate; when the
+waterline rules fire it derives a new ``d*`` from the M/D/1 model and
+performs *dynamic switching*:
+
+1. pause the source's multicast output (Theorem 4's premise: output rate
+   drops to zero during the switch);
+2. multicast a ``StatusMessage`` to every endpoint, then send
+   ``ControlMessages`` to the endpoints that must disconnect/re-connect
+   (real control traffic on the wire, so Figs. 27/28 account for it);
+3. wait for ACKs (modelled as the configured switching delay + the
+   control round-trips already simulated);
+4. install the rewired tree and resume the source.
+
+Every switch is recorded as a :class:`SwitchRecord` so experiments can
+report switching delay and frequency (Figs. 23/24).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.core.monitor import QueueMonitor, StreamMonitor
+from repro.multicast import (
+    binomial_out_degree,
+    max_out_degree,
+    plan_switch,
+)
+from repro.net.cpu import CpuAccount
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dsps.comm import MulticastService
+    from repro.dsps.system import DspsSystem
+
+
+@dataclass(frozen=True)
+class SwitchRecord:
+    """One completed dynamic switch."""
+
+    time: float
+    direction: str  # "scale_down" | "scale_up"
+    old_d_star: int
+    new_d_star: int
+    n_ops: int
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class StatusMessage:
+    """Broadcast to all endpoints announcing a switching phase."""
+
+    direction: str
+    new_d_star: int
+
+
+class MulticastController:
+    """Self-adjusting mechanism for one multicast service."""
+
+    def __init__(self, system: "DspsSystem", service: "MulticastService"):
+        self.system = system
+        self.service = service
+        self.sim = system.sim
+        cfg = system.config
+        self.config = cfg
+        self.source = system.executors[service.src_task]
+        self.queue_monitor = QueueMonitor(
+            self.source.transfer_queue,
+            warning_waterline=cfg.warning_waterline,
+            t_down=cfg.t_down,
+            t_up=cfg.t_up,
+        )
+        self.stream_monitor = StreamMonitor(alpha=cfg.alpha)
+        self.cpu = CpuAccount(self.sim, f"controller[{service.src_task}]")
+        self.history: List[SwitchRecord] = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("controller already started")
+        self._running = True
+        self.sim.process(self._loop())
+
+    @property
+    def d_star(self) -> int:
+        return self.service.d_star
+
+    # ------------------------------------------------------------------
+    def _loop(self):
+        cfg = self.config
+        while True:
+            yield self.sim.timeout(cfg.monitor_interval_s)
+            lam = self.stream_monitor.observe(
+                self.source.emitted, cfg.monitor_interval_s
+            )
+            decision = self.queue_monitor.sample()
+            te = self.source.te_estimate
+            if te is None or lam <= 0 or decision.action == "hold":
+                continue
+            target = self._target_d_star(lam, te)
+            if decision.action == "scale_down" and target < self.service.d_star:
+                yield from self._switch("scale_down", target)
+            elif decision.action == "scale_up" and target > self.service.d_star:
+                yield from self._switch("scale_up", target)
+
+    def _target_d_star(self, lam: float, te: float) -> int:
+        d = max_out_degree(lam, te, self.config.transfer_queue_capacity)
+        # More out-degree than a binomial tree needs is useless.
+        cap = binomial_out_degree(max(1, len(self.service.endpoints)))
+        return max(1, min(d, cap))
+
+    # ------------------------------------------------------------------
+    def _switch(self, direction: str, new_d_star: int):
+        service = self.service
+        start = self.sim.now
+        old_d_star = service.d_star
+        resume = self.sim.event()
+        service.paused_until = resume
+        try:
+            new_tree, plan = plan_switch(service.tree, new_d_star)
+            # StatusMessage to every endpoint (multicast over the control
+            # plane; one message per endpoint machine).
+            status = StatusMessage(direction=direction, new_d_star=new_d_star)
+            machines = sorted(
+                {service.machine_of(ep) for ep in service.endpoints}
+            )
+            for machine in machines:
+                if machine == service.src_machine:
+                    continue
+                yield from self.system.control_send(
+                    service.src_machine, machine, status, self.cpu
+                )
+            # ControlMessages to the endpoints that rewire.
+            for msg in plan.control_messages():
+                node = msg.op.node
+                if node not in service.endpoints:  # pragma: no cover
+                    continue
+                machine = service.machine_of(node)
+                if machine == service.src_machine:
+                    continue
+                yield from self.system.control_send(
+                    service.src_machine, machine, msg, self.cpu
+                )
+            # ACK round + channel re-establishment.
+            yield self.sim.timeout(self.config.switch_delay_s)
+            service.apply_tree(new_tree)
+            service.d_star = new_d_star
+        finally:
+            service.paused_until = None
+            resume.succeed()
+        self.history.append(
+            SwitchRecord(
+                time=start,
+                direction=direction,
+                old_d_star=old_d_star,
+                new_d_star=new_d_star,
+                n_ops=plan.n_ops,
+                duration_s=self.sim.now - start,
+            )
+        )

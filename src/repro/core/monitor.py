@@ -1,0 +1,105 @@
+"""The statistics-monitoring module (Section 4).
+
+Bridges the gap between the M/D/1 model and the running system:
+
+* :class:`StreamMonitor` measures the stream input rate ``lambda`` with
+  the paper's alpha-weighted averaging
+  ``lambda(t) = alpha * lambda(t-1) + (1 - alpha) * N(t)``,
+  where ``N(t)`` is the tuple count in the last unit interval — the
+  pre-processing that smooths noise, loss, and outliers.
+* :class:`QueueMonitor` watches the transfer queue's waterline and
+  evaluates the Section 3.3 trigger rules (*negative scale-down* /
+  *active scale-up*) on each sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+from repro.sim.queues import TransferQueue
+
+
+class StreamMonitor:
+    """Alpha-weighted input-rate estimator."""
+
+    def __init__(self, alpha: float = 0.6):
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+        self.alpha = alpha
+        self._rate: Optional[float] = None
+        self._last_count: Optional[int] = None
+
+    def observe(self, cumulative_count: int, interval_s: float) -> float:
+        """Feed the emitter's cumulative tuple count; returns lambda(t)."""
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        if self._last_count is None:
+            self._last_count = cumulative_count
+            self._rate = 0.0
+            return 0.0
+        n_t = (cumulative_count - self._last_count) / interval_s
+        self._last_count = cumulative_count
+        assert self._rate is not None
+        self._rate = self.alpha * self._rate + (1.0 - self.alpha) * n_t
+        return self._rate
+
+    @property
+    def rate(self) -> float:
+        """Current smoothed estimate of lambda (tuples/s)."""
+        return self._rate or 0.0
+
+
+@dataclass(frozen=True)
+class QueueDecision:
+    """Outcome of one waterline evaluation."""
+
+    action: Literal["scale_down", "scale_up", "hold"]
+    queue_length: int
+    delta: int
+
+
+class QueueMonitor:
+    """Waterline tracker implementing the Section 3.3 rules.
+
+    * negative scale-down when the queue grows and
+      ``dL / (l_w - l) >= T_down`` (or the waterline is already crossed);
+    * active scale-up when the queue shrinks and ``dL / l' >= T_up``,
+      or the queue has fully drained (``l == l' == 0``).
+    """
+
+    def __init__(
+        self,
+        queue: TransferQueue,
+        warning_waterline: float,
+        t_down: float,
+        t_up: float,
+    ):
+        if warning_waterline <= 0:
+            raise ValueError("warning waterline must be positive")
+        if t_down <= 0 or t_up <= 0:
+            raise ValueError("thresholds must be positive")
+        self.queue = queue
+        self.l_w = warning_waterline
+        self.t_down = t_down
+        self.t_up = t_up
+        self._prev: Optional[int] = None
+
+    def sample(self) -> QueueDecision:
+        l = self.queue.level
+        prev = self._prev
+        self._prev = l
+        if prev is None:
+            return QueueDecision("hold", l, 0)
+        delta = l - prev
+        if delta > 0:
+            if l >= self.l_w:
+                return QueueDecision("scale_down", l, delta)
+            if delta / (self.l_w - l) >= self.t_down:
+                return QueueDecision("scale_down", l, delta)
+        elif delta < 0:
+            if prev > 0 and (-delta) / prev >= self.t_up:
+                return QueueDecision("scale_up", l, delta)
+        elif l == 0 and prev == 0:
+            return QueueDecision("scale_up", l, 0)
+        return QueueDecision("hold", l, delta)

@@ -1,0 +1,76 @@
+"""User-facing operator API: Spouts and Bolts.
+
+A **Spout** produces the stream: the executor asks it for the next values
+whenever the arrival process fires.  A **Bolt** consumes tuples: the
+executor charges :meth:`Bolt.service_time` of CPU, then calls
+:meth:`Bolt.execute`, which may emit derived tuples through the collector.
+
+Performance is simulated (service times come from the cost model /
+``service_time``), while the *logic* is real Python — bolts genuinely
+join, match, and aggregate, so applications are testable for correctness
+independent of the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Protocol, Tuple
+
+from repro.dsps.tuples import StreamTuple
+
+
+@dataclass
+class TupleContext:
+    """What an operator learns about its placement at prepare time."""
+
+    task_id: int
+    task_index: int  # 0-based index among the operator's tasks
+    parallelism: int
+    operator: str
+    machine_id: int
+
+
+class Collector(Protocol):
+    """Emission interface handed to bolts (implemented by the executor)."""
+
+    def emit(
+        self,
+        stream: str,
+        values: Any,
+        key: Optional[Any] = None,
+        payload_bytes: Optional[int] = None,
+        anchor: Optional[StreamTuple] = None,
+    ) -> None: ...
+
+
+class Spout:
+    """Stream source.  Subclasses override :meth:`next_tuple`."""
+
+    #: Default serialized size of emitted data items.
+    payload_bytes: int = 128
+    #: CPU cost of producing one tuple (reading from Kafka, parsing, ...).
+    emit_service_s: float = 1.0e-6
+
+    def prepare(self, ctx: TupleContext) -> None:
+        """Called once before the first tuple."""
+
+    def next_tuple(self) -> Tuple[Any, Optional[Any], int]:
+        """Produce ``(values, key, payload_bytes)`` for the next tuple."""
+        raise NotImplementedError
+
+
+class Bolt:
+    """Stream operator.  Subclasses override :meth:`execute`."""
+
+    #: Fixed part of the per-tuple service time.
+    base_service_s: float = 1.0e-6
+
+    def prepare(self, ctx: TupleContext) -> None:
+        """Called once before the first tuple."""
+
+    def service_time(self, tup: StreamTuple) -> float:
+        """Simulated CPU seconds to process ``tup`` (default: fixed)."""
+        return self.base_service_s
+
+    def execute(self, tup: StreamTuple, collector: Collector) -> None:
+        """Process ``tup``; emit derived tuples via ``collector``."""

@@ -1,0 +1,88 @@
+"""System configuration: which of the paper's mechanisms are enabled.
+
+One :class:`SystemConfig` describes a complete system variant.  The
+baselines and every Whale ablation of Section 5 are points in this space:
+
+==========================  =========  ==============  =========  ============
+variant                     transport  communication   multicast  adaptive d*
+==========================  =========  ==============  =========  ============
+Storm                       tcp        instance        sequential no
+RDMA-based Storm            rdma/send  instance        sequential no
+RDMC                        rdma/send  instance        binomial   no
+Whale-WOC                   tcp        worker          sequential no
+Whale-WOC-RDMA              rdma/read  worker          sequential no
+Whale-WOC-RDMA-Nonblock     rdma/read  worker          nonblocking yes
+==========================  =========  ==============  =========  ============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.net.costs import CostModel
+from repro.net.rdma import Verb
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Feature switches + tuning knobs for one system variant."""
+
+    name: str
+    #: "tcp" or "rdma"
+    transport: str = "tcp"
+    #: verb for data messages on the RDMA transport
+    data_verb: Verb = Verb.SEND
+    #: verb for control messages on the RDMA transport
+    control_verb: Verb = Verb.SEND
+    #: instance-oriented (Storm) vs worker-oriented (Whale) communication
+    worker_oriented: bool = False
+    #: multicast structure for one-to-many streams:
+    #: "sequential" | "binomial" | "nonblocking"
+    multicast: str = "sequential"
+    #: initial d* for the nonblocking structure (None = derive from model)
+    d_star: Optional[int] = 3
+    #: queue-based self-adjusting mechanism (Section 3.3) on/off
+    adaptive: bool = False
+    #: MMS/WTL stream slicing on the RDMA data path (Section 4)
+    slicing: bool = False
+
+    # --- queues -----------------------------------------------------------
+    #: transfer-queue capacity Q (tuples) of each executor's send queue
+    transfer_queue_capacity: int = 512
+    #: executor incoming-queue capacity
+    executor_queue_capacity: int = 4096
+
+    # --- adaptive mechanism (Section 3.3 thresholds) -----------------------
+    warning_waterline_fraction: float = 0.5  # l_w = fraction * Q
+    t_down: float = 0.4
+    t_up: float = 0.5
+    monitor_interval_s: float = 0.05  # Delta t
+    alpha: float = 0.6  # EMA weight for lambda(t) (Section 4)
+    #: simulated one-way controller->instances switching delay budget
+    switch_delay_s: float = 0.002
+
+    #: cost model (shared by all variants of one experiment)
+    costs: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("tcp", "rdma"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+        if self.multicast not in ("sequential", "binomial", "nonblocking"):
+            raise ValueError(f"unknown multicast structure {self.multicast!r}")
+        if self.transfer_queue_capacity < 1:
+            raise ValueError("transfer queue capacity must be >= 1")
+        if self.slicing and self.transport != "rdma":
+            raise ValueError("stream slicing requires the RDMA transport")
+        if not 0 < self.warning_waterline_fraction < 1:
+            raise ValueError("warning waterline must be a fraction in (0,1)")
+        if self.d_star is not None and self.d_star < 1:
+            raise ValueError(f"d_star must be >= 1, got {self.d_star}")
+
+    @property
+    def warning_waterline(self) -> float:
+        """l_w in tuples."""
+        return self.warning_waterline_fraction * self.transfer_queue_capacity
+
+    def with_overrides(self, **kwargs) -> "SystemConfig":
+        return replace(self, **kwargs)

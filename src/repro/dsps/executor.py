@@ -1,0 +1,249 @@
+"""Executors: the task threads of a worker.
+
+Each task runs as two simulated threads, mirroring Storm's executor
+anatomy (Section 4 of the paper):
+
+* the **working thread** takes :class:`AddressedTuple`\\ s from the
+  executor incoming-queue, charges the operator's service time, and runs
+  the user logic (which may emit);
+* the **sending thread** drains the bounded **transfer queue** and hands
+  envelopes to the communication engine.  The transfer queue is the
+  queue of the paper's M/D/1 model; when it overflows, tuples are lost
+  (Definition 4: *stream input loss*).
+
+Spout executors replace the working thread with an arrival-driven
+emission loop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from repro.dsps.api import Bolt, Spout, TupleContext
+from repro.dsps.comm import Envelope
+from repro.dsps.tuples import AddressedTuple, StreamTuple
+from repro.net import cpu as cats
+from repro.net.cpu import CpuAccount
+from repro.sim.queues import TransferQueue
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dsps.system import DspsSystem
+
+
+class _EmitCollector:
+    """Collector handed to operator logic; routes emits to the transfer
+    queue via the topology's groupings."""
+
+    def __init__(self, executor: "ExecutorBase"):
+        self._executor = executor
+
+    def emit(
+        self,
+        stream: Optional[str] = None,
+        values: Any = None,
+        key: Any = None,
+        payload_bytes: Optional[int] = None,
+        anchor: Optional[StreamTuple] = None,
+    ) -> None:
+        self._executor._emit(
+            values=values,
+            key=key,
+            payload_bytes=payload_bytes,
+            anchor=anchor,
+        )
+
+
+class ExecutorBase:
+    """Shared machinery of spout and bolt executors."""
+
+    def __init__(self, system: "DspsSystem", task_id: int):
+        self.system = system
+        self.sim = system.sim
+        self.task_id = task_id
+        self.operator = system.placement.operator_of[task_id]
+        self.task_index = system.placement.index_of[task_id]
+        self.machine_id = system.placement.machine_of[task_id]
+        spec = system.topology.operators[self.operator]
+        self.spec = spec
+        self.cpu = CpuAccount(self.sim, f"{self.operator}[{task_id}]")
+        self.transfer_queue = TransferQueue(
+            self.sim, capacity=system.config.transfer_queue_capacity
+        )
+        self.collector = _EmitCollector(self)
+        # Per-emitter grouping instances (shuffle keeps per-emitter state).
+        self._groupings = {
+            down.name: (down.inputs[self.operator], system.placement.tasks_of[down.name])
+            for down in system.topology.downstream_of(self.operator)
+        }
+        # EMA of the per-replica send time (the model's t_e), maintained by
+        # the sending thread; seeded lazily from the first measurement.
+        self.te_estimate: Optional[float] = None
+        self._te_alpha = 0.2
+        self.last_out_degree = 1
+        self.emitted = 0
+        self.sent = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.sim.process(self._send_loop())
+
+    def context(self) -> TupleContext:
+        return TupleContext(
+            task_id=self.task_id,
+            task_index=self.task_index,
+            parallelism=self.spec.parallelism,
+            operator=self.operator,
+            machine_id=self.machine_id,
+        )
+
+    # ------------------------------------------------------------------
+    # emission path (runs in the working thread)
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        values: Any,
+        key: Any,
+        payload_bytes: Optional[int],
+        anchor: Optional[StreamTuple],
+    ) -> None:
+        if anchor is not None:
+            tup = anchor.derive(
+                stream=self.operator,
+                values=values,
+                key=key,
+                payload_bytes=payload_bytes,
+                source_operator=self.operator,
+            )
+        else:
+            tup = StreamTuple(
+                stream=self.operator,
+                values=values,
+                key=key,
+                payload_bytes=payload_bytes or 128,
+                created_at=self.sim.now,
+                source_operator=self.operator,
+            )
+        metrics = self.system.metrics
+        metrics.on_emit(self.operator)
+        self.emitted += 1
+        for dst_operator, (grouping, tasks) in self._groupings.items():
+            dst_tasks = grouping.choose(tup, tasks)
+            env = Envelope(
+                tuple=tup,
+                dst_operator=dst_operator,
+                dst_tasks=dst_tasks,
+                one_to_many=grouping.one_to_many,
+            )
+            if grouping.one_to_many and metrics.in_window:
+                metrics.multicast.register(tup.tuple_id, len(dst_tasks), self.sim.now)
+                metrics.completion.register(tup.tuple_id, len(dst_tasks), tup.created_at)
+            if not self.transfer_queue.try_put(env):
+                # Transfer queue overflow: stream input loss (Def. 4).
+                metrics.on_drop(f"{self.operator}.transfer_queue")
+                if grouping.one_to_many:
+                    metrics.multicast.cancel(tup.tuple_id)
+                    metrics.completion.cancel(tup.tuple_id)
+
+    # ------------------------------------------------------------------
+    # sending thread
+    # ------------------------------------------------------------------
+    def _send_loop(self):
+        comm = self.system.comm
+        while True:
+            env = yield self.transfer_queue.get()
+            t0 = self.sim.now
+            n_sends = yield from comm.send(self, env)
+            n_sends = max(1, n_sends or 1)
+            self.last_out_degree = n_sends
+            sample = (self.sim.now - t0) / n_sends
+            if sample > 0:
+                if self.te_estimate is None:
+                    self.te_estimate = sample
+                else:
+                    self.te_estimate = (
+                        self._te_alpha * sample
+                        + (1 - self._te_alpha) * self.te_estimate
+                    )
+            self.sent += 1
+
+
+class BoltExecutor(ExecutorBase):
+    """Working thread + sending thread around one Bolt instance."""
+
+    def __init__(self, system: "DspsSystem", task_id: int):
+        super().__init__(system, task_id)
+        self.bolt: Bolt = self.spec.factory()  # type: ignore[assignment]
+        self.inqueue: Store = Store(
+            self.sim, capacity=system.config.executor_queue_capacity
+        )
+        self.processed = 0
+
+    def start(self) -> None:
+        super().start()
+        self.bolt.prepare(self.context())
+        self.sim.process(self._work_loop())
+
+    def accept(self, at: AddressedTuple) -> bool:
+        """Dispatcher entry point: enqueue a tuple (False = overflow)."""
+        ok = self.inqueue.try_put(at)
+        if not ok:
+            self.system.metrics.on_drop(f"{self.operator}.inqueue")
+        return ok
+
+    def _work_loop(self):
+        metrics = self.system.metrics
+        while True:
+            at = yield self.inqueue.get()
+            tup: StreamTuple = at.tuple
+            service = self.bolt.service_time(tup)
+            if service > 0:
+                yield from self.cpu.work(service, cats.PROCESSING)
+            self.bolt.execute(tup, self.collector)
+            self.processed += 1
+            metrics.on_processed(self.operator)
+            metrics.completion.on_executed(tup.tuple_id)
+            if self.spec.terminal:
+                metrics.on_sink_latency(
+                    self.operator, self.sim.now - tup.created_at
+                )
+
+
+class SpoutExecutor(ExecutorBase):
+    """Arrival-driven emission loop around one Spout instance."""
+
+    def __init__(self, system: "DspsSystem", task_id: int):
+        super().__init__(system, task_id)
+        self.spout: Spout = self.spec.factory()  # type: ignore[assignment]
+        self._arrival_gap: Optional[Callable[[float], float]] = None
+        self._stop = False
+
+    def set_arrival_process(self, gap_fn: Callable[[float], float]) -> None:
+        """``gap_fn(now) -> seconds until the next tuple``."""
+        self._arrival_gap = gap_fn
+
+    def stop(self) -> None:
+        self._stop = True
+
+    def start(self) -> None:
+        super().start()
+        self.spout.prepare(self.context())
+        self.sim.process(self._arrival_loop())
+
+    def _arrival_loop(self):
+        if self._arrival_gap is None:
+            raise RuntimeError(
+                f"spout {self.operator!r} has no arrival process; call "
+                "set_arrival_process() or pass arrivals= to DspsSystem"
+            )
+        while not self._stop:
+            gap = self._arrival_gap(self.sim.now)
+            if gap is None:
+                return  # arrival process exhausted
+            yield self.sim.timeout(gap)
+            if self._stop:
+                return
+            values, key, nbytes = self.spout.next_tuple()
+            if self.spout.emit_service_s > 0:
+                yield from self.cpu.work(self.spout.emit_service_s, cats.PROCESSING)
+            self._emit(values=values, key=key, payload_bytes=nbytes, anchor=None)

@@ -1,0 +1,74 @@
+"""Stream groupings: how an upstream task picks downstream tasks.
+
+The three groupings of the paper (Section 1/2):
+
+* :class:`ShuffleGrouping` — round-robin load spreading (one-to-one),
+* :class:`FieldsGrouping` — key hashing (one-to-one, deterministic),
+* :class:`AllGrouping` — one-to-many: *every* downstream task receives
+  every tuple.  This is the grouping whose cost Whale attacks.
+
+Key hashing uses CRC32 rather than :func:`hash` so placements are stable
+across processes and runs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+from repro.dsps.tuples import StreamTuple
+
+
+class Grouping(ABC):
+    """Chooses destination task ids for one emitted tuple."""
+
+    #: True when one emit fans out to every downstream task.
+    one_to_many: bool = False
+
+    @abstractmethod
+    def choose(self, tup: StreamTuple, tasks: Sequence[int]) -> List[int]:
+        """Return the destination task ids for ``tup``."""
+
+    def __repr__(self) -> str:
+        return type(self).__name__
+
+
+class ShuffleGrouping(Grouping):
+    """Round-robin across downstream tasks (per upstream emitter)."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, tup: StreamTuple, tasks: Sequence[int]) -> List[int]:
+        if not tasks:
+            raise ValueError("no downstream tasks to choose from")
+        task = tasks[self._next % len(tasks)]
+        self._next += 1
+        return [task]
+
+
+class FieldsGrouping(Grouping):
+    """Deterministic key hashing (Storm's fields grouping)."""
+
+    def choose(self, tup: StreamTuple, tasks: Sequence[int]) -> List[int]:
+        if not tasks:
+            raise ValueError("no downstream tasks to choose from")
+        if tup.key is None:
+            raise ValueError(
+                f"fields grouping needs a key; tuple {tup.tuple_id} on "
+                f"stream {tup.stream!r} has none"
+            )
+        digest = zlib.crc32(repr(tup.key).encode("utf-8"))
+        return [tasks[digest % len(tasks)]]
+
+
+class AllGrouping(Grouping):
+    """One-to-many: broadcast to every downstream task."""
+
+    one_to_many = True
+
+    def choose(self, tup: StreamTuple, tasks: Sequence[int]) -> List[int]:
+        if not tasks:
+            raise ValueError("no downstream tasks to choose from")
+        return list(tasks)

@@ -1,0 +1,207 @@
+"""Metrics collection.
+
+Implements the paper's Section 5.1 metric definitions:
+
+* **throughput** — tuples processed per unit time (per operator, counted
+  inside the measurement window);
+* **processing latency** — time from a tuple entering the source to its
+  full processing at the sink.  For one-to-many streams completion means
+  *every* destination instance processed it (tracked by
+  :class:`CompletionTracker`);
+* **multicast latency** — time from tuple production until the *last*
+  destination instance receives it (:class:`MulticastTracker`);
+* **serialization / communication time** — CPU-category totals from the
+  :class:`~repro.net.cpu.CpuAccount` registry;
+* **communication traffic** — bytes on the wire per generated tuple,
+  from the fabric counters.
+
+A measurement window (``open_window`` / ``close_window``) excludes warmup
+and drain phases from every rate and latency statistic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+@dataclass
+class LatencySummary:
+    """Summary statistics over recorded latency samples (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @staticmethod
+    def from_samples(samples: List[float]) -> "LatencySummary":
+        if not samples:
+            return LatencySummary(0, math.nan, math.nan, math.nan, math.nan, math.nan)
+        arr = np.asarray(samples, dtype=np.float64)
+        return LatencySummary(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            max=float(arr.max()),
+        )
+
+
+class MulticastTracker:
+    """Tracks per-tuple multicast completion (last destination receives)."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._pending: Dict[int, Tuple[float, int]] = {}
+        self.latencies: List[float] = []
+        self.completed = 0
+
+    def register(self, tuple_id: int, n_destinations: int, emit_time: float) -> None:
+        if n_destinations < 1:
+            raise ValueError(f"n_destinations must be >= 1, got {n_destinations}")
+        self._pending[tuple_id] = (emit_time, n_destinations)
+
+    def on_receive(self, tuple_id: int) -> None:
+        entry = self._pending.get(tuple_id)
+        if entry is None:
+            return  # not a tracked tuple (e.g. emitted outside the window)
+        emit_time, remaining = entry
+        remaining -= 1
+        if remaining == 0:
+            del self._pending[tuple_id]
+            self.latencies.append(self.sim.now - emit_time)
+            self.completed += 1
+        else:
+            self._pending[tuple_id] = (emit_time, remaining)
+
+    def cancel(self, tuple_id: int) -> None:
+        """Forget a tuple (it was dropped before reaching the wire)."""
+        self._pending.pop(tuple_id, None)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def summary(self) -> LatencySummary:
+        return LatencySummary.from_samples(self.latencies)
+
+
+class CompletionTracker:
+    """Tracks processing completion of one-to-many tuples: a root tuple is
+    complete when all ``n`` destination instances executed it."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._pending: Dict[int, Tuple[float, int]] = {}
+        self.latencies: List[float] = []
+        self.completed = 0
+
+    def register(self, root_id: int, n_executions: int, created_at: float) -> None:
+        self._pending[root_id] = (created_at, n_executions)
+
+    def on_executed(self, root_id: int) -> None:
+        entry = self._pending.get(root_id)
+        if entry is None:
+            return
+        created_at, remaining = entry
+        remaining -= 1
+        if remaining == 0:
+            del self._pending[root_id]
+            self.latencies.append(self.sim.now - created_at)
+            self.completed += 1
+        else:
+            self._pending[root_id] = (created_at, remaining)
+
+    def cancel(self, root_id: int) -> None:
+        """Forget a root tuple (it was dropped before reaching the wire)."""
+        self._pending.pop(root_id, None)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def summary(self) -> LatencySummary:
+        return LatencySummary.from_samples(self.latencies)
+
+
+class MetricsHub:
+    """Central metric registry for one system run."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.emitted: Dict[str, int] = defaultdict(int)
+        self.processed: Dict[str, int] = defaultdict(int)
+        self.dropped: Dict[str, int] = defaultdict(int)
+        self.sink_latencies: Dict[str, List[float]] = defaultdict(list)
+        self.multicast = MulticastTracker(sim)
+        self.completion = CompletionTracker(sim)
+        self._window: Optional[Tuple[float, Optional[float]]] = None
+
+    # ------------------------------------------------------------------
+    # measurement window
+    # ------------------------------------------------------------------
+    def open_window(self) -> None:
+        self._window = (self.sim.now, None)
+
+    def close_window(self) -> None:
+        if self._window is None:
+            raise RuntimeError("close_window() before open_window()")
+        start, _ = self._window
+        self._window = (start, self.sim.now)
+
+    @property
+    def in_window(self) -> bool:
+        if self._window is None:
+            return False
+        start, end = self._window
+        return self.sim.now >= start and (end is None or self.sim.now <= end)
+
+    @property
+    def window_duration(self) -> float:
+        if self._window is None:
+            raise RuntimeError("no measurement window opened")
+        start, end = self._window
+        return (end if end is not None else self.sim.now) - start
+
+    # ------------------------------------------------------------------
+    # recording (no-ops outside the window)
+    # ------------------------------------------------------------------
+    def on_emit(self, operator: str) -> None:
+        if self.in_window:
+            self.emitted[operator] += 1
+
+    def on_processed(self, operator: str) -> None:
+        if self.in_window:
+            self.processed[operator] += 1
+
+    def on_drop(self, where: str) -> None:
+        if self.in_window:
+            self.dropped[where] += 1
+
+    def on_sink_latency(self, operator: str, latency_s: float) -> None:
+        if self.in_window:
+            self.sink_latencies[operator].append(latency_s)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def throughput(self, operator: str) -> float:
+        """Tuples processed per second inside the window."""
+        return self.processed[operator] / self.window_duration
+
+    def emit_rate(self, operator: str) -> float:
+        return self.emitted[operator] / self.window_duration
+
+    def sink_latency_summary(self, operator: str) -> LatencySummary:
+        return LatencySummary.from_samples(self.sink_latencies[operator])

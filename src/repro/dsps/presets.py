@@ -1,0 +1,65 @@
+"""Baseline system presets.
+
+The Whale presets (Whale-WOC, Whale-WOC-RDMA, Whale-WOC-RDMA-Nonblock)
+live in :mod:`repro.core.whale`; here are the systems Whale is compared
+against in Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dsps.config import SystemConfig
+from repro.net.costs import CostModel
+from repro.net.rdma import Verb
+
+
+def storm_config(costs: Optional[CostModel] = None, **overrides) -> SystemConfig:
+    """Apache Storm: instance-oriented communication over TCP/IP,
+    sequential one-to-many transmission."""
+    cfg = SystemConfig(
+        name="storm",
+        transport="tcp",
+        worker_oriented=False,
+        multicast="sequential",
+        adaptive=False,
+        slicing=False,
+        costs=costs or CostModel(),
+    )
+    return cfg.with_overrides(**overrides) if overrides else cfg
+
+
+def rdma_storm_config(
+    costs: Optional[CostModel] = None, **overrides
+) -> SystemConfig:
+    """RDMA-based Storm (Yang et al.): Storm's TCP replaced by two-sided
+    RDMA send/recv; communication stays instance-oriented and one-to-many
+    transmission stays sequential, so serialization still dominates."""
+    cfg = SystemConfig(
+        name="rdma-storm",
+        transport="rdma",
+        data_verb=Verb.SEND,
+        worker_oriented=False,
+        multicast="sequential",
+        adaptive=False,
+        slicing=False,
+        costs=costs or CostModel(),
+    )
+    return cfg.with_overrides(**overrides) if overrides else cfg
+
+
+def rdmc_config(costs: Optional[CostModel] = None, **overrides) -> SystemConfig:
+    """RDMC (Behrens et al.): a *static* binomial multicast tree over the
+    destination instances on RDMA; no worker-oriented batching, no
+    structure adaptation."""
+    cfg = SystemConfig(
+        name="rdmc",
+        transport="rdma",
+        data_verb=Verb.SEND,
+        worker_oriented=False,
+        multicast="binomial",
+        adaptive=False,
+        slicing=False,
+        costs=costs or CostModel(),
+    )
+    return cfg.with_overrides(**overrides) if overrides else cfg

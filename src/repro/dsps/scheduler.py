@@ -1,0 +1,71 @@
+"""Task placement (the Nimbus role).
+
+One worker process per machine (the paper's deployment: "each machine
+contains one worker process which hosts ... task threads").  Tasks of
+each operator are assigned round-robin across machines, so an operator
+with parallelism 480 on 30 machines puts 16 instances on every worker —
+the co-location that makes worker-oriented communication pay off.
+
+Spouts are placed first, starting at machine 0, then bolts continue the
+round-robin; this keeps the source instance's machine deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.dsps.topology import Topology
+from repro.net.cluster import Cluster
+
+
+@dataclass
+class Placement:
+    """The result of scheduling a topology onto a cluster."""
+
+    #: task id -> machine id
+    machine_of: Dict[int, int] = field(default_factory=dict)
+    #: operator name -> ordered task ids
+    tasks_of: Dict[str, List[int]] = field(default_factory=dict)
+    #: task id -> operator name
+    operator_of: Dict[int, str] = field(default_factory=dict)
+    #: task id -> index within its operator
+    index_of: Dict[int, int] = field(default_factory=dict)
+
+    def tasks_on_machine(self, machine_id: int) -> List[int]:
+        return [t for t, m in self.machine_of.items() if m == machine_id]
+
+    def machines_hosting(self, operator: str) -> List[int]:
+        """Machines hosting at least one task of ``operator`` (sorted)."""
+        return sorted({self.machine_of[t] for t in self.tasks_of[operator]})
+
+    def colocated_tasks(self, operator: str, machine_id: int) -> List[int]:
+        """Tasks of ``operator`` placed on ``machine_id`` (ordered)."""
+        return [
+            t
+            for t in self.tasks_of[operator]
+            if self.machine_of[t] == machine_id
+        ]
+
+
+def schedule(topology: Topology, cluster: Cluster) -> Placement:
+    """Round-robin placement of every task onto the cluster."""
+    topology.validate()
+    placement = Placement()
+    next_task_id = 0
+    cursor = 0
+    n_machines = len(cluster)
+    ordered = topology.spouts() + topology.bolts()
+    for op in ordered:
+        ids: List[int] = []
+        for index in range(op.parallelism):
+            task_id = next_task_id
+            next_task_id += 1
+            machine = cursor % n_machines
+            cursor += 1
+            placement.machine_of[task_id] = machine
+            placement.operator_of[task_id] = op.name
+            placement.index_of[task_id] = index
+            ids.append(task_id)
+        placement.tasks_of[op.name] = ids
+    return placement

@@ -1,0 +1,204 @@
+"""System assembly: topology + config + cluster -> a runnable simulation.
+
+``DspsSystem`` builds the whole object graph (fabric, transport, workers,
+executors, multicast services, metrics) and provides the standard
+measurement protocol used by every experiment:
+
+>>> system = DspsSystem(topology, config, arrivals={"requests": arrivals})
+>>> result = system.run_measured(warmup_s=0.2, measure_s=1.0)
+
+Measurement excludes warmup; throughput/latency come from the metrics hub
+restricted to the window.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.dsps.comm import CommEngine, MulticastService
+from repro.dsps.config import SystemConfig
+from repro.dsps.executor import BoltExecutor, ExecutorBase, SpoutExecutor
+from repro.dsps.metrics import MetricsHub
+from repro.dsps.scheduler import Placement, schedule
+from repro.dsps.topology import Topology
+from repro.dsps.worker import Worker
+from repro.net.cluster import Cluster
+from repro.net.fabric import Fabric
+from repro.net.message import WireMessage
+from repro.net.rdma import RdmaTransport
+from repro.net.serialization import SerializationModel
+from repro.net.tcp import TcpTransport
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+#: gap function: seconds until the next tuple, or None to stop.
+ArrivalFn = Callable[[float], Optional[float]]
+
+
+class DspsSystem:
+    """One fully-wired stream processing system on a simulated cluster."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: SystemConfig,
+        cluster: Optional[Cluster] = None,
+        arrivals: Optional[Dict[str, ArrivalFn]] = None,
+        seed: int = 0,
+        fabric_options: Optional[Dict] = None,
+    ):
+        """``fabric_options`` are forwarded to :class:`~repro.net.fabric.
+        Fabric` (fault injection: ``loss_probability``; oversubscription:
+        ``rack_uplink_bandwidth_bps``)."""
+        fabric_options = fabric_options or {}
+        self.topology = topology
+        self.config = config
+        self.costs = config.costs
+        self.cluster = cluster if cluster is not None else Cluster(30, 1, 16)
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+        self.serialization = SerializationModel(self.costs)
+        self.metrics = MetricsHub(self.sim)
+
+        # --- network ------------------------------------------------------
+        if config.transport == "tcp":
+            self.fabric = Fabric(
+                self.sim,
+                self.cluster,
+                bandwidth_bps=self.costs.ethernet_bandwidth_bps,
+                base_latency_s=self.costs.ethernet_latency_s,
+                rack_hop_latency_s=self.costs.rack_hop_latency_s,
+                name="ethernet",
+                **fabric_options,
+            )
+            self.transport = TcpTransport(self.sim, self.fabric, self.costs)
+        else:
+            self.fabric = Fabric(
+                self.sim,
+                self.cluster,
+                bandwidth_bps=self.costs.infiniband_bandwidth_bps,
+                base_latency_s=self.costs.infiniband_latency_s,
+                rack_hop_latency_s=self.costs.rack_hop_latency_s,
+                name="infiniband",
+                **fabric_options,
+            )
+            self.transport = RdmaTransport(
+                self.sim,
+                self.fabric,
+                self.costs,
+                data_verb=config.data_verb,
+                control_verb=config.control_verb,
+            )
+
+        # --- placement + runtime objects -----------------------------------
+        self.placement: Placement = schedule(topology, self.cluster)
+        self.workers: Dict[int, Worker] = {
+            m.machine_id: Worker(self, m.machine_id) for m in self.cluster
+        }
+        self.comm = CommEngine(self)
+        self.executors: Dict[int, ExecutorBase] = {}
+        self.spout_executors: List[SpoutExecutor] = []
+        for op in topology.spouts():
+            for task_id in self.placement.tasks_of[op.name]:
+                ex = SpoutExecutor(self, task_id)
+                self.executors[task_id] = ex
+                self.spout_executors.append(ex)
+        for op in topology.bolts():
+            for task_id in self.placement.tasks_of[op.name]:
+                ex = BoltExecutor(self, task_id)
+                self.executors[task_id] = ex
+                self.workers[ex.machine_id].executors[task_id] = ex
+
+        # --- multicast services --------------------------------------------
+        self._services: Dict[tuple, MulticastService] = {}
+        if config.multicast != "sequential":
+            for bolt in topology.bolts():
+                for upstream, grouping in bolt.inputs.items():
+                    if not grouping.one_to_many:
+                        continue
+                    for src_task in self.placement.tasks_of[upstream]:
+                        self._services[(src_task, bolt.name)] = MulticastService(
+                            self,
+                            src_task=src_task,
+                            dst_operator=bolt.name,
+                            structure=config.multicast,
+                            d_star=config.d_star or 3,
+                            worker_level=config.worker_oriented,
+                        )
+
+        # --- arrivals --------------------------------------------------------
+        if arrivals:
+            self.set_arrivals(arrivals)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def set_arrivals(self, arrivals: Dict[str, ArrivalFn]) -> None:
+        for name, gap_fn in arrivals.items():
+            tasks = self.placement.tasks_of.get(name)
+            if tasks is None:
+                raise KeyError(f"no spout named {name!r}")
+            for task_id in tasks:
+                ex = self.executors[task_id]
+                if not isinstance(ex, SpoutExecutor):
+                    raise TypeError(f"{name!r} is not a spout")
+                ex.set_arrival_process(gap_fn)
+
+    def multicast_service(
+        self, src_task: int, dst_operator: str
+    ) -> Optional[MulticastService]:
+        return self._services.get((src_task, dst_operator))
+
+    @property
+    def multicast_services(self) -> List[MulticastService]:
+        return list(self._services.values())
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch every worker and executor process."""
+        if self._started:
+            raise RuntimeError("system already started")
+        self._started = True
+        for worker in self.workers.values():
+            worker.start()
+        for ex in self.executors.values():
+            ex.start()
+
+    def run_measured(self, warmup_s: float, measure_s: float) -> MetricsHub:
+        """Run warmup, then a measurement window; return the metrics hub."""
+        if not self._started:
+            self.start()
+        if warmup_s > 0:
+            self.sim.run(until=self.sim.now + warmup_s)
+        self.metrics.open_window()
+        self.sim.run(until=self.sim.now + measure_s)
+        self.metrics.close_window()
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    # control-plane helper (used by the Whale controller)
+    # ------------------------------------------------------------------
+    def control_send(
+        self, src_machine: int, dst_machine: int, payload, cpu_account
+    ):
+        """Send one control message (generator)."""
+        size = self.serialization.control_message_bytes()
+        yield from self.transport.send(
+            src_machine, dst_machine, payload, size, cpu_account, kind="control"
+        )
+
+    # ------------------------------------------------------------------
+    # convenience accessors for experiments
+    # ------------------------------------------------------------------
+    def source_executor(self, spout_name: str) -> SpoutExecutor:
+        task = self.placement.tasks_of[spout_name][0]
+        ex = self.executors[task]
+        assert isinstance(ex, SpoutExecutor)
+        return ex
+
+    def operator_executors(self, operator: str) -> List[ExecutorBase]:
+        return [self.executors[t] for t in self.placement.tasks_of[operator]]
+
+    def traffic_bytes(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return sum(self.fabric.bytes_by_kind.values())
+        return self.fabric.bytes_by_kind.get(kind, 0)

@@ -1,0 +1,129 @@
+"""Logical topology: a DAG of operators connected by grouped streams.
+
+Mirrors Storm's ``TopologyBuilder``:
+
+>>> topo = Topology("ride-hailing")
+>>> topo.add_spout("requests", lambda: RequestSpout(...))
+>>> topo.add_bolt("matching", lambda: MatchingBolt(...), parallelism=480,
+...               inputs={"requests": AllGrouping()})
+
+Operator factories are zero-argument callables so each task gets a fresh
+operator instance (Storm's ``newInstance`` semantics in Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.dsps.api import Bolt, Spout
+from repro.dsps.grouping import Grouping
+
+
+@dataclass
+class OperatorSpec:
+    """One vertex of the topology DAG."""
+
+    name: str
+    kind: str  # "spout" | "bolt"
+    factory: Callable[[], object]
+    parallelism: int
+    #: upstream operator name -> grouping (bolts only).
+    inputs: Dict[str, Grouping] = field(default_factory=dict)
+    #: True marks latency-measurement sinks.
+    terminal: bool = False
+
+
+class Topology:
+    """The application DAG."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.operators: Dict[str, OperatorSpec] = {}
+
+    # ------------------------------------------------------------------
+    def add_spout(
+        self,
+        name: str,
+        factory: Callable[[], Spout],
+        parallelism: int = 1,
+    ) -> "Topology":
+        self._check_new(name, parallelism)
+        self.operators[name] = OperatorSpec(
+            name=name, kind="spout", factory=factory, parallelism=parallelism
+        )
+        return self
+
+    def add_bolt(
+        self,
+        name: str,
+        factory: Callable[[], Bolt],
+        parallelism: int,
+        inputs: Dict[str, Grouping],
+        terminal: bool = False,
+    ) -> "Topology":
+        self._check_new(name, parallelism)
+        if not inputs:
+            raise ValueError(f"bolt {name!r} needs at least one input")
+        for upstream in inputs:
+            if upstream not in self.operators:
+                raise ValueError(
+                    f"bolt {name!r} references unknown upstream {upstream!r}"
+                )
+        self.operators[name] = OperatorSpec(
+            name=name,
+            kind="bolt",
+            factory=factory,
+            parallelism=parallelism,
+            inputs=dict(inputs),
+            terminal=terminal,
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def spouts(self) -> List[OperatorSpec]:
+        return [op for op in self.operators.values() if op.kind == "spout"]
+
+    def bolts(self) -> List[OperatorSpec]:
+        return [op for op in self.operators.values() if op.kind == "bolt"]
+
+    def downstream_of(self, name: str) -> List[OperatorSpec]:
+        """Bolts consuming ``name``'s output stream."""
+        return [
+            op
+            for op in self.operators.values()
+            if op.kind == "bolt" and name in op.inputs
+        ]
+
+    def validate(self) -> None:
+        """Check the DAG is well-formed (acyclic, spouts exist)."""
+        if not self.spouts():
+            raise ValueError(f"topology {self.name!r} has no spout")
+        # Kahn's algorithm for cycle detection.
+        indegree = {name: len(op.inputs) for name, op in self.operators.items()}
+        frontier = [n for n, d in indegree.items() if d == 0]
+        seen = 0
+        while frontier:
+            cur = frontier.pop()
+            seen += 1
+            for down in self.downstream_of(cur):
+                indegree[down.name] -= 1
+                if indegree[down.name] == 0:
+                    frontier.append(down.name)
+        if seen != len(self.operators):
+            raise ValueError(f"topology {self.name!r} contains a cycle")
+
+    # ------------------------------------------------------------------
+    def _check_new(self, name: str, parallelism: int) -> None:
+        if name in self.operators:
+            raise ValueError(f"duplicate operator name {name!r}")
+        if parallelism < 1:
+            raise ValueError(
+                f"parallelism of {name!r} must be >= 1, got {parallelism}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{op.name}x{op.parallelism}" for op in self.operators.values()
+        )
+        return f"Topology({self.name!r}: {parts})"

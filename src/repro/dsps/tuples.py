@@ -1,0 +1,69 @@
+"""Tuple model.
+
+A :class:`StreamTuple` is the logical unit of data; ``payload_bytes`` is
+its serialized data-item size (what the cost model charges for).  An
+:class:`AddressedTuple` is a tuple bound for one specific task — the unit
+a worker's dispatcher hands to a local executor (Section 4's
+``AddressedTuple``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_tuple_ids = itertools.count()
+
+
+@dataclass
+class StreamTuple:
+    """One logical data item flowing through the topology."""
+
+    stream: str
+    values: Any
+    key: Optional[Any] = None
+    payload_bytes: int = 128
+    #: Simulated time the tuple entered the system (spout emit).
+    created_at: float = 0.0
+    #: Operator that emitted this tuple.
+    source_operator: str = ""
+    tuple_id: int = field(default_factory=lambda: next(_tuple_ids))
+    #: Id of the root (spout) tuple this one descends from, for
+    #: end-to-end latency tracking across operator hops.
+    root_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise ValueError(
+                f"payload_bytes must be positive, got {self.payload_bytes}"
+            )
+        if self.root_id is None:
+            self.root_id = self.tuple_id
+
+    def derive(
+        self,
+        stream: str,
+        values: Any,
+        key: Optional[Any] = None,
+        payload_bytes: Optional[int] = None,
+        source_operator: str = "",
+    ) -> "StreamTuple":
+        """Create a child tuple anchored to this tuple's root."""
+        return StreamTuple(
+            stream=stream,
+            values=values,
+            key=key,
+            payload_bytes=payload_bytes or self.payload_bytes,
+            created_at=self.created_at,
+            source_operator=source_operator,
+            root_id=self.root_id,
+        )
+
+
+@dataclass
+class AddressedTuple:
+    """A tuple addressed to one destination task."""
+
+    task_id: int
+    tuple: StreamTuple

@@ -1,0 +1,68 @@
+"""Worker processes: one per machine, hosting task threads.
+
+The worker owns the machine's transport inbox and runs the **receive
+thread**: take a wire message, pay the receive CPU (kernel TCP path or
+RDMA completion), then let the packet deliver itself — deserialization,
+local dispatch to executor incoming-queues, and (for multicast packets)
+relaying to cascading endpoints all run on this thread, exactly like the
+"specialized receiving thread" + dispatcher of Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.dsps.tuples import AddressedTuple
+from repro.net import cpu as cats
+from repro.net.cpu import CpuAccount
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dsps.executor import BoltExecutor
+    from repro.dsps.system import DspsSystem
+
+
+class Worker:
+    """One worker process on one machine."""
+
+    def __init__(self, system: "DspsSystem", machine_id: int):
+        self.system = system
+        self.sim = system.sim
+        self.machine_id = machine_id
+        self.cpu = CpuAccount(self.sim, f"worker[{machine_id}]")
+        self.inbox = system.transport.bind_inbox(machine_id)
+        #: local task id -> executor (filled by the system during build).
+        self.executors: Dict[int, "BoltExecutor"] = {}
+        #: handler for control-plane packets (set by the Whale controller).
+        self.control_handler: Optional[Callable] = None
+        self.messages_received = 0
+        self.dispatched = 0
+
+    def start(self) -> None:
+        self.sim.process(self._receive_loop())
+
+    # ------------------------------------------------------------------
+    def dispatch_local(self, at: AddressedTuple) -> None:
+        """Hand a tuple to a locally hosted executor."""
+        executor = self.executors.get(at.task_id)
+        if executor is None:
+            raise LookupError(
+                f"task {at.task_id} is not hosted on machine {self.machine_id}"
+            )
+        self.cpu.charge(self.system.costs.dispatch_cpu_s, cats.DISPATCH)
+        self.dispatched += 1
+        self.system.metrics.multicast.on_receive(at.tuple.tuple_id)
+        executor.accept(at)
+
+    # ------------------------------------------------------------------
+    def _receive_loop(self):
+        while True:
+            msg = yield self.inbox.get()
+            self.messages_received += 1
+            if msg.recv_cpu_s > 0:
+                yield from self.cpu.work(msg.recv_cpu_s, cats.NETWORK)
+            payload = msg.payload
+            if msg.kind == "control":
+                if self.control_handler is not None:
+                    self.control_handler(payload)
+                continue
+            yield from payload.deliver(self)

@@ -1,0 +1,159 @@
+"""Analytical properties of the self-adjusting mechanism (Theorems 3-5).
+
+These are the paper's correctness/benefit conditions for dynamic
+switching, implemented as checkable predicates so both the controller
+and the test suite can evaluate them against concrete runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _require_positive(**kwargs: float) -> None:
+    for name, value in kwargs.items():
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+
+
+# ----------------------------------------------------------------------
+# Theorem 3 — the negative scale-down trigger fires no later than the
+# baseline dynamic switch (which waits for the waterline itself), so its
+# maximum queue length is no larger.
+# ----------------------------------------------------------------------
+def scale_down_trigger_length(
+    waterline: float, growth_per_interval: float, t_down: float
+) -> float:
+    """The queue length ``q*`` at which the negative scale-down rule
+    ``dL / (l_w - q) >= T_down`` first fires, given steady growth ``dL``
+    per monitoring interval.  Always ``<= waterline`` (Theorem 3's core:
+    the preemptive rule reacts at or before the baseline switch)."""
+    _require_positive(
+        waterline=waterline,
+        growth_per_interval=growth_per_interval,
+        t_down=t_down,
+    )
+    # dL / (l_w - q) >= T_down  <=>  q >= l_w - dL / T_down.
+    return max(0.0, waterline - growth_per_interval / t_down)
+
+
+def max_queue_after_switch(
+    trigger_length: float,
+    inflow_rate: float,
+    outflow_rate: float,
+    switch_delay_s: float,
+) -> float:
+    """Maximum queue length reached when switching begins at
+    ``trigger_length`` and the structure needs ``switch_delay_s`` to
+    react (Eq. 12/17 with piecewise-constant rates)."""
+    if inflow_rate < 0 or outflow_rate < 0:
+        raise ValueError("rates must be non-negative")
+    if switch_delay_s < 0:
+        raise ValueError("switch delay must be non-negative")
+    return trigger_length + max(0.0, inflow_rate - outflow_rate) * switch_delay_s
+
+
+# ----------------------------------------------------------------------
+# Theorem 4 — loss-freedom bound for negative scale-down
+# ----------------------------------------------------------------------
+def loss_free_switch_bound(
+    q_capacity: float, queue_length: float, input_rate: float
+) -> float:
+    """The maximum switching delay that avoids stream input loss:
+    ``T_switch < (Q - q(t*)) / v_in(t*)`` (Theorem 4).
+
+    During the switch the output rate is zero, so the queue absorbs the
+    whole input; it overflows after the returned number of seconds.
+    """
+    _require_positive(q_capacity=q_capacity, input_rate=input_rate)
+    if queue_length < 0 or queue_length > q_capacity:
+        raise ValueError(
+            f"queue length {queue_length} outside [0, {q_capacity}]"
+        )
+    return (q_capacity - queue_length) / input_rate
+
+
+def switch_is_loss_free(
+    q_capacity: float,
+    queue_length: float,
+    input_rate: float,
+    switch_delay_s: float,
+) -> bool:
+    """Theorem 4's condition, as a predicate."""
+    return switch_delay_s < loss_free_switch_bound(
+        q_capacity, queue_length, input_rate
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 5 — when active scale-up pays off
+# ----------------------------------------------------------------------
+def scale_up_breakeven_tuples(
+    new_rate: float, old_rate: float, switch_delay_s: float
+) -> float:
+    """Minimum number of multicast tuples ``X`` for which scaling up is
+    worthwhile: ``X > gamma * gamma' * T_switch / (gamma - gamma')``
+    (Theorem 5).  Below this, the switching delay outweighs the faster
+    multicast rate."""
+    _require_positive(
+        new_rate=new_rate, old_rate=old_rate, switch_delay_s=switch_delay_s
+    )
+    if new_rate <= old_rate:
+        raise ValueError(
+            f"scale-up must increase the multicast rate "
+            f"(old={old_rate}, new={new_rate})"
+        )
+    return new_rate * old_rate * switch_delay_s / (new_rate - old_rate)
+
+
+def scale_up_is_worthwhile(
+    n_tuples: float, new_rate: float, old_rate: float, switch_delay_s: float
+) -> bool:
+    """Theorem 5's condition, as a predicate."""
+    return n_tuples > scale_up_breakeven_tuples(
+        new_rate, old_rate, switch_delay_s
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 3.2.2 — structure comparison ratio
+# ----------------------------------------------------------------------
+def affordable_rate_ratio_vs_binomial(n_destinations: int, d0: int) -> float:
+    """``M_nonblock / M_binomial = ceil(log2(n+1)) / d0`` — how much more
+    input the capped tree affords than the binomial tree (>= 1 whenever
+    ``d0`` is at most the binomial degree)."""
+    from repro.multicast.model import binomial_out_degree
+
+    if d0 < 1:
+        raise ValueError(f"d0 must be >= 1, got {d0}")
+    return binomial_out_degree(n_destinations) / d0
+
+
+@dataclass(frozen=True)
+class SwitchBenefit:
+    """A fully-evaluated Theorem 4 + 5 assessment of one planned switch."""
+
+    loss_free: bool
+    loss_free_margin_s: float
+    breakeven_tuples: float
+
+    @staticmethod
+    def assess(
+        q_capacity: float,
+        queue_length: float,
+        input_rate: float,
+        switch_delay_s: float,
+        new_rate: float,
+        old_rate: float,
+    ) -> "SwitchBenefit":
+        bound = loss_free_switch_bound(q_capacity, queue_length, input_rate)
+        breakeven = (
+            scale_up_breakeven_tuples(new_rate, old_rate, switch_delay_s)
+            if new_rate > old_rate
+            else 0.0
+        )
+        return SwitchBenefit(
+            loss_free=switch_delay_s < bound,
+            loss_free_margin_s=bound - switch_delay_s,
+            breakeven_tuples=breakeven,
+        )

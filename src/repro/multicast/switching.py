@@ -1,0 +1,190 @@
+"""Dynamic switching of the multicast structure (Section 3.4).
+
+When the monitor changes ``d*``, Whale does **not** rebuild the tree; it
+incrementally rewires it:
+
+* **Negative scale-down** (``d*`` decreased): traverse from ``S`` layer by
+  layer; for every node whose out-degree now exceeds ``d*``, detach the
+  sub-trees that push it over the cap (the last-attached children), then
+  re-insert each detached sub-tree at the first position (BFS from ``S``)
+  whose out-degree is below ``d*``.
+* **Active scale-up** (``d*`` increased): walk from the last (deepest)
+  destination instance toward ``S``; move each onto the first node (BFS
+  from ``S``) with spare out-degree on a strictly shallower layer; stop
+  once the best available position is on the same logical layer as the
+  instance's current one.
+
+Both produce a :class:`SwitchPlan` — the list of disconnect/connect
+operations that the multicast controller ships to destination instances
+as *ControlMessages* and that the DES applies after the switching delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Literal, Optional, Tuple
+
+from repro.multicast.tree import MulticastTree, Node, TreeError
+
+
+@dataclass(frozen=True)
+class RewireOp:
+    """Move ``node`` (and its subtree) from ``old_parent`` to ``new_parent``."""
+
+    node: Node
+    old_parent: Node
+    new_parent: Node
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """What the multicast controller multicasts to destination instances.
+
+    ``status`` tells receivers which switching mode runs; ``op`` tells the
+    two affected endpoints to disconnect/establish an RDMA channel.
+    """
+
+    status: Literal["scale_down", "scale_up"]
+    op: RewireOp
+
+
+@dataclass
+class SwitchPlan:
+    """A complete structure adjustment."""
+
+    status: Literal["scale_down", "scale_up", "noop"]
+    d_star: int
+    ops: List[RewireOp] = field(default_factory=list)
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.ops)
+
+    def control_messages(self) -> List[ControlMessage]:
+        if self.status == "noop":
+            return []
+        return [ControlMessage(status=self.status, op=op) for op in self.ops]
+
+
+# ----------------------------------------------------------------------
+def plan_switch(tree: MulticastTree, new_d_star: int) -> Tuple[MulticastTree, SwitchPlan]:
+    """Compute the rewired tree and the operation plan for ``new_d_star``.
+
+    The input tree is not modified; a rewired copy is returned together
+    with the plan.  The returned tree always satisfies the new cap.
+    """
+    if new_d_star < 1:
+        raise ValueError(f"d* must be >= 1, got {new_d_star}")
+    work = tree.copy()
+    if work.max_out_degree() > new_d_star:
+        ops = _scale_down(work, new_d_star)
+        status: str = "scale_down"
+    else:
+        ops = _scale_up(work, new_d_star)
+        status = "scale_up" if ops else "noop"
+    work.validate(d_star=new_d_star)
+    return work, SwitchPlan(status=status, d_star=new_d_star, ops=ops)  # type: ignore[arg-type]
+
+
+def apply_plan(tree: MulticastTree, plan: SwitchPlan) -> None:
+    """Apply a plan's operations to ``tree`` in place."""
+    for op in plan.ops:
+        if tree.parent(op.node) != op.old_parent:
+            raise TreeError(
+                f"plan expects {op.node!r} under {op.old_parent!r}, found "
+                f"{tree.parent(op.node)!r}"
+            )
+        tree.move(op.node, op.new_parent)
+
+
+# ----------------------------------------------------------------------
+# negative scale-down
+# ----------------------------------------------------------------------
+def _scale_down(tree: MulticastTree, d_star: int) -> List[RewireOp]:
+    ops: List[RewireOp] = []
+    # Repeated passes: reattached subtrees may themselves contain nodes
+    # exceeding the new cap (their internal degrees were legal under the
+    # old, larger d*).  Each pass strictly reduces total excess degree.
+    for _pass in range(len(tree) + 1):
+        marked: List[Tuple[Node, Node]] = []  # (subtree root, old parent)
+        for node in tree.bfs():
+            excess = tree.out_degree(node) - d_star
+            if excess > 0:
+                # The last-attached children are the ones that pushed the
+                # node over the cap.
+                for child in tree.children(node)[d_star:]:
+                    marked.append((child, node))
+        if not marked:
+            return ops
+        for child, old_parent in marked:
+            new_parent = _first_open_slot(
+                tree, d_star, exclude_subtree_of=child
+            )
+            if new_parent is None:  # pragma: no cover - tree always has room
+                raise TreeError(
+                    f"no position with out-degree < {d_star} available"
+                )
+            ops.append(RewireOp(child, old_parent, new_parent))
+            tree.move(child, new_parent)
+    raise TreeError("scale-down failed to converge")  # pragma: no cover
+
+
+def _first_open_slot(
+    tree: MulticastTree,
+    d_star: int,
+    exclude_subtree_of: Optional[Node] = None,
+) -> Optional[Node]:
+    """First node in BFS order with out-degree below ``d*``.
+
+    Excludes the subtree being moved (attaching there would form a cycle).
+    """
+    excluded = (
+        set(tree.subtree_nodes(exclude_subtree_of))
+        if exclude_subtree_of is not None
+        else set()
+    )
+    for node in tree.bfs():
+        if node in excluded:
+            continue
+        if tree.out_degree(node) < d_star:
+            return node
+    return None
+
+
+# ----------------------------------------------------------------------
+# active scale-up
+# ----------------------------------------------------------------------
+def _scale_up(tree: MulticastTree, d_star: int) -> List[RewireOp]:
+    ops: List[RewireOp] = []
+    # Each move strictly decreases the sum of node layers (bounded by n^2).
+    for _round in range(len(tree) ** 2 + 1):
+        node = _deepest_last_instance(tree)
+        if node is None:
+            return ops
+        new_parent = _first_open_slot(tree, d_star, exclude_subtree_of=node)
+        if new_parent is None:
+            return ops
+        # Stop once the reachable position no longer shortens the path:
+        # "the original position and the new position ... are on the same
+        # logical layer".
+        if tree.layer(new_parent) + 1 >= tree.layer(node):
+            return ops
+        old_parent = tree.parent(node)
+        assert old_parent is not None
+        ops.append(RewireOp(node, old_parent, new_parent))
+        tree.move(node, new_parent)
+    raise TreeError("scale-up failed to converge")  # pragma: no cover
+
+
+def _deepest_last_instance(tree: MulticastTree) -> Optional[Node]:
+    """The last destination instance on the maximum layer (the paper
+    walks 'from the last destination instance to S')."""
+    best: Optional[Node] = None
+    best_layer = 0
+    for node in tree.bfs():
+        if node == tree.root:
+            continue
+        layer = tree.layer(node)
+        if layer >= best_layer:
+            best, best_layer = node, layer
+    return best

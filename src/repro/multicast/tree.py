@@ -1,0 +1,193 @@
+"""The multicast tree structure.
+
+Nodes are opaque hashable ids (task ids, worker ids, ...); the source is
+the distinguished :data:`SOURCE` sentinel unless a custom root is given.
+The tree records, per node, its parent, its children **in attachment
+order** (attachment order is transmission order during relay), and its
+logical layer per Algorithm 1's layered construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterator, List, Optional
+
+Node = Hashable
+
+
+class _Source:
+    """Sentinel node id for the source instance ``S``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "S"
+
+
+SOURCE: Node = _Source()
+
+
+class TreeError(ValueError):
+    """Structural violation in a multicast tree."""
+
+
+class MulticastTree:
+    """A rooted tree with ordered children and per-node logical layers."""
+
+    def __init__(self, root: Node = SOURCE):
+        self.root: Node = root
+        self._children: Dict[Node, List[Node]] = {root: []}
+        self._parent: Dict[Node, Node] = {}
+        self._layer: Dict[Node, int] = {root: 0}
+
+    # ------------------------------------------------------------------
+    # construction / mutation
+    # ------------------------------------------------------------------
+    def add(self, node: Node, parent: Node, layer: Optional[int] = None) -> None:
+        """Attach ``node`` under ``parent``."""
+        if node in self._children:
+            raise TreeError(f"node {node!r} already in tree")
+        if parent not in self._children:
+            raise TreeError(f"parent {parent!r} not in tree")
+        self._children[parent].append(node)
+        self._children[node] = []
+        self._parent[node] = parent
+        self._layer[node] = (
+            layer if layer is not None else self._layer[parent] + 1
+        )
+
+    def move(self, node: Node, new_parent: Node) -> None:
+        """Re-attach ``node`` (with its whole subtree) under ``new_parent``.
+
+        Layers of the moved subtree are recomputed from the new position.
+        """
+        if node == self.root:
+            raise TreeError("cannot move the root")
+        if node not in self._children:
+            raise TreeError(f"node {node!r} not in tree")
+        if new_parent not in self._children:
+            raise TreeError(f"new parent {new_parent!r} not in tree")
+        # Reject cycles: new_parent must not be inside node's subtree.
+        cursor = new_parent
+        while cursor in self._parent:
+            if cursor == node:
+                raise TreeError(
+                    f"moving {node!r} under its own descendant {new_parent!r}"
+                )
+            cursor = self._parent[cursor]
+        if cursor == node:
+            raise TreeError(
+                f"moving {node!r} under its own descendant {new_parent!r}"
+            )
+        old_parent = self._parent[node]
+        self._children[old_parent].remove(node)
+        self._children[new_parent].append(node)
+        self._parent[node] = new_parent
+        self._relayer(node, self._layer[new_parent] + 1)
+
+    def _relayer(self, node: Node, layer: int) -> None:
+        self._layer[node] = layer
+        for child in self._children[node]:
+            self._relayer(child, layer + 1)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._children
+
+    def __len__(self) -> int:
+        """Number of nodes including the root."""
+        return len(self._children)
+
+    @property
+    def n_destinations(self) -> int:
+        return len(self._children) - 1
+
+    def children(self, node: Node) -> List[Node]:
+        return list(self._children[node])
+
+    def parent(self, node: Node) -> Optional[Node]:
+        return self._parent.get(node)
+
+    def layer(self, node: Node) -> int:
+        return self._layer[node]
+
+    def out_degree(self, node: Node) -> int:
+        return len(self._children[node])
+
+    def max_out_degree(self) -> int:
+        return max(len(c) for c in self._children.values())
+
+    def depth(self) -> int:
+        """Longest root-to-leaf edge count."""
+        return max(self._layer.values())
+
+    def destinations(self) -> List[Node]:
+        """All nodes except the root, in BFS order."""
+        return [n for n in self.bfs() if n != self.root]
+
+    def bfs(self) -> Iterator[Node]:
+        """Breadth-first traversal from the root, children in order."""
+        queue = [self.root]
+        while queue:
+            node = queue.pop(0)
+            yield node
+            queue.extend(self._children[node])
+
+    def subtree_nodes(self, node: Node) -> List[Node]:
+        """``node`` and all its descendants (preorder)."""
+        out = [node]
+        stack = list(reversed(self._children[node]))
+        while stack:
+            cur = stack.pop()
+            out.append(cur)
+            stack.extend(reversed(self._children[cur]))
+        return out
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def validate(self, d_star: Optional[int] = None) -> None:
+        """Raise :class:`TreeError` on any structural violation.
+
+        Checks parent/child consistency, connectivity, acyclicity, and —
+        if ``d_star`` is given — the out-degree cap.
+        """
+        seen = set()
+        for node in self.bfs():
+            if node in seen:
+                raise TreeError(f"cycle or duplicate at {node!r}")
+            seen.add(node)
+            for child in self._children[node]:
+                if self._parent.get(child) != node:
+                    raise TreeError(
+                        f"parent pointer of {child!r} disagrees with "
+                        f"child list of {node!r}"
+                    )
+                if self._layer[child] <= self._layer[node]:
+                    raise TreeError(
+                        f"layer of {child!r} not below its parent {node!r}"
+                    )
+        if seen != set(self._children):
+            unreachable = set(self._children) - seen
+            raise TreeError(f"unreachable nodes: {unreachable!r}")
+        if d_star is not None:
+            for node, children in self._children.items():
+                if len(children) > d_star:
+                    raise TreeError(
+                        f"out-degree of {node!r} is {len(children)} > "
+                        f"d* = {d_star}"
+                    )
+
+    def copy(self) -> "MulticastTree":
+        clone = MulticastTree(root=self.root)
+        clone._children = {n: list(c) for n, c in self._children.items()}
+        clone._parent = dict(self._parent)
+        clone._layer = dict(self._layer)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MulticastTree(n={self.n_destinations}, depth={self.depth()}, "
+            f"max_degree={self.max_out_degree()})"
+        )

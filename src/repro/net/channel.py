@@ -1,0 +1,228 @@
+"""General channel-oriented communication framework.
+
+The paper ships a second artifact, *WhaleRDMAChannel* — a reusable
+channel abstraction over RDMA that other systems can adopt without
+Storm.  This module reproduces that framework over this repo's
+transports: logical, bidirectional **channels** multiplexed over the
+per-machine transport inboxes, with per-channel receive handlers,
+connection lifecycle, and per-channel statistics.
+
+A channel hides the transport (TCP or any RDMA verb) behind one API::
+
+    mgr_a = ChannelManager(sim, transport, machine_id=0)
+    mgr_b = ChannelManager(sim, transport, machine_id=1)
+    ch = mgr_a.connect(1)                       # returns when accepted
+    mgr_b.on_accept(lambda ch: ch.on_receive(handler))
+    yield from ch.send(payload, nbytes, cpu)
+
+This is exactly the shape Whale's multicast controller needs (establish/
+teardown channels during dynamic switching) and what the paper offers
+downstream users.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, Optional
+
+from repro.net.cpu import CpuAccount
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+_channel_ids = itertools.count(1)
+
+
+class ChannelError(RuntimeError):
+    """Misuse of the channel API (send on closed channel, ...)."""
+
+
+@dataclass
+class _Frame:
+    """What actually travels through the transport for channels."""
+
+    channel_id: int
+    kind: str  # "syn" | "syn-ack" | "data" | "fin"
+    body: Any = None
+    src_machine: int = -1
+
+
+@dataclass
+class ChannelStats:
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+class Channel:
+    """One endpoint of an established logical channel."""
+
+    def __init__(
+        self,
+        manager: "ChannelManager",
+        channel_id: int,
+        peer_machine: int,
+    ):
+        self.manager = manager
+        self.channel_id = channel_id
+        self.peer_machine = peer_machine
+        self.stats = ChannelStats()
+        self._receive_handler: Optional[Callable[[Any], None]] = None
+        self._open = True
+
+    # ------------------------------------------------------------------
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def on_receive(self, handler: Callable[[Any], None]) -> None:
+        """Register the message handler (one per endpoint)."""
+        self._receive_handler = handler
+
+    def send(self, payload: Any, nbytes: int, cpu: CpuAccount) -> Iterator:
+        """Send one message (generator; charges sender CPU via the
+        underlying transport)."""
+        if not self._open:
+            raise ChannelError(f"send on closed channel {self.channel_id}")
+        if nbytes <= 0:
+            raise ChannelError(f"message size must be positive, got {nbytes}")
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += nbytes
+        frame = _Frame(
+            channel_id=self.channel_id,
+            kind="data",
+            body=payload,
+            src_machine=self.manager.machine_id,
+        )
+        yield from self.manager._transmit(self.peer_machine, frame, nbytes, cpu)
+
+    def close(self, cpu: CpuAccount) -> Iterator:
+        """Close both endpoints (generator; sends a FIN frame)."""
+        if not self._open:
+            return
+        self._open = False
+        frame = _Frame(
+            channel_id=self.channel_id,
+            kind="fin",
+            src_machine=self.manager.machine_id,
+        )
+        yield from self.manager._transmit(self.peer_machine, frame, 32, cpu)
+        self.manager._forget(self.channel_id)
+
+    # ------------------------------------------------------------------
+    def _deliver(self, frame: _Frame, nbytes_hint: int = 0) -> None:
+        self.stats.messages_received += 1
+        self.stats.bytes_received += nbytes_hint
+        if self._receive_handler is not None:
+            self._receive_handler(frame.body)
+
+    def _peer_closed(self) -> None:
+        self._open = False
+        self.manager._forget(self.channel_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self._open else "closed"
+        return (
+            f"Channel(id={self.channel_id}, peer=m{self.peer_machine}, {state})"
+        )
+
+
+class ChannelManager:
+    """Per-machine channel endpoint: demultiplexes the transport inbox.
+
+    One manager owns the machine's inbox on the given transport and runs
+    the demux thread; any number of channels multiplex over it.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        transport,
+        machine_id: int,
+        accept_handler: Optional[Callable[[Channel], None]] = None,
+    ):
+        self.sim = sim
+        self.transport = transport
+        self.machine_id = machine_id
+        self.cpu = CpuAccount(sim, f"channel-mgr[{machine_id}]")
+        self._channels: Dict[int, Channel] = {}
+        self._accept_handler = accept_handler
+        self._pending_connects: Dict[int, Any] = {}  # channel_id -> Event
+        self._inbox = transport.bind_inbox(machine_id)
+        sim.process(self._demux_loop())
+
+    # ------------------------------------------------------------------
+    def on_accept(self, handler: Callable[[Channel], None]) -> None:
+        """Called with the new channel whenever a peer connects."""
+        self._accept_handler = handler
+
+    def connect(self, peer_machine: int, cpu: Optional[CpuAccount] = None):
+        """Open a channel to ``peer_machine`` (generator; returns the
+        channel once the peer's SYN-ACK arrives)."""
+        cpu = cpu or self.cpu
+        channel_id = next(_channel_ids)
+        done = self.sim.event()
+        self._pending_connects[channel_id] = done
+        frame = _Frame(
+            channel_id=channel_id, kind="syn", src_machine=self.machine_id
+        )
+        yield from self._transmit(peer_machine, frame, 32, cpu)
+        yield done
+        channel = Channel(self, channel_id, peer_machine)
+        self._channels[channel_id] = channel
+        return channel
+
+    @property
+    def open_channels(self) -> int:
+        return len(self._channels)
+
+    def channel(self, channel_id: int) -> Optional[Channel]:
+        return self._channels.get(channel_id)
+
+    # ------------------------------------------------------------------
+    def _transmit(self, dst_machine: int, frame: _Frame, nbytes: int, cpu) -> Iterator:
+        yield from self.transport.send(
+            self.machine_id, dst_machine, frame, nbytes, cpu
+        )
+
+    def _demux_loop(self):
+        while True:
+            msg = yield self._inbox.get()
+            if msg.recv_cpu_s > 0:
+                yield from self.cpu.work(msg.recv_cpu_s)
+            frame = msg.payload
+            if not isinstance(frame, _Frame):
+                raise ChannelError(
+                    f"machine {self.machine_id}: non-channel traffic on a "
+                    f"channel-managed inbox: {frame!r}"
+                )
+            if frame.kind == "syn":
+                channel = Channel(self, frame.channel_id, frame.src_machine)
+                self._channels[frame.channel_id] = channel
+                ack = _Frame(
+                    channel_id=frame.channel_id,
+                    kind="syn-ack",
+                    src_machine=self.machine_id,
+                )
+                yield from self._transmit(frame.src_machine, ack, 32, self.cpu)
+                if self._accept_handler is not None:
+                    self._accept_handler(channel)
+            elif frame.kind == "syn-ack":
+                done = self._pending_connects.pop(frame.channel_id, None)
+                if done is not None:
+                    done.succeed()
+            elif frame.kind == "data":
+                channel = self._channels.get(frame.channel_id)
+                if channel is not None:
+                    channel._deliver(frame, msg.size_bytes)
+            elif frame.kind == "fin":
+                channel = self._channels.get(frame.channel_id)
+                if channel is not None:
+                    channel._peer_closed()
+            else:  # pragma: no cover - defensive
+                raise ChannelError(f"unknown frame kind {frame.kind!r}")
+
+    def _forget(self, channel_id: int) -> None:
+        self._channels.pop(channel_id, None)

@@ -1,0 +1,220 @@
+"""Link fabric: per-machine NIC egress ports over a shared parameter set.
+
+Each machine has one :class:`NicPort` per fabric (one Ethernet, one
+InfiniBand in the standard setup).  A port serializes outgoing messages at
+link bandwidth — this is what makes a 1 Gbps NIC an honest bottleneck —
+and then the message propagates for the base latency (+ rack-hop latency)
+before being handed to the destination machine's bound receiver.
+
+Ingress contention is intentionally not modelled: in all of the paper's
+experiments the bottleneck is sender-side (upstream CPU or egress), and
+the evaluation's receivers are many and lightly loaded.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Callable, Dict, Optional  # noqa: F401
+
+from repro.net.cluster import Cluster
+from repro.net.message import WireMessage
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+Receiver = Callable[[WireMessage], None]
+
+
+class NicPort:
+    """One machine's egress port on a fabric (FIFO at link bandwidth)."""
+
+    def __init__(self, sim: "Simulator", fabric: "Fabric", machine_id: int):
+        self.sim = sim
+        self.fabric = fabric
+        self.machine_id = machine_id
+        self._egress: Store = Store(sim)
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        sim.process(self._drain())
+
+    def enqueue(self, msg: WireMessage) -> None:
+        """Hand a message to the NIC (non-blocking for the caller)."""
+        msg.sent_at = self.sim.now
+        self._egress.try_put(msg)
+
+    @property
+    def backlog(self) -> int:
+        return self._egress.level
+
+    def _drain(self):
+        while True:
+            msg = yield self._egress.get()
+            # Occupy the link for the transmission time...
+            tx = msg.size_bytes * 8.0 / self.fabric.bandwidth_bps
+            if tx > 0:
+                yield self.sim.timeout(tx)
+            self.bytes_sent += msg.size_bytes
+            self.messages_sent += 1
+            # ...then let it propagate without blocking the port.
+            self.fabric._propagate(msg)
+
+
+class _RackUplink:
+    """A rack's shared uplink: serializes cross-rack egress at the
+    oversubscribed core bandwidth."""
+
+    def __init__(
+        self, sim: "Simulator", fabric: "Fabric", rack: int, bandwidth_bps: float
+    ):
+        self.sim = sim
+        self.fabric = fabric
+        self.rack = rack
+        self.bandwidth_bps = bandwidth_bps
+        self._egress: Store = Store(sim)
+        self.bytes_sent = 0
+        sim.process(self._drain())
+
+    def enqueue(self, msg: WireMessage) -> None:
+        self._egress.try_put(msg)
+
+    @property
+    def backlog(self) -> int:
+        return self._egress.level
+
+    def _drain(self):
+        while True:
+            msg = yield self._egress.get()
+            tx = msg.size_bytes * 8.0 / self.bandwidth_bps
+            if tx > 0:
+                yield self.sim.timeout(tx)
+            self.bytes_sent += msg.size_bytes
+            self.fabric._schedule_delivery(msg)
+
+
+class Fabric:
+    """A homogeneous network fabric connecting all machines of a cluster."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        cluster: Cluster,
+        bandwidth_bps: float,
+        base_latency_s: float,
+        rack_hop_latency_s: float = 0.0,
+        name: str = "fabric",
+        loss_probability: float = 0.0,
+        loss_seed: int = 0,
+        rack_uplink_bandwidth_bps: Optional[float] = None,
+    ):
+        """``loss_probability`` drops that fraction of messages in flight
+        (fault injection; lost messages count in ``messages_lost``).
+        ``rack_uplink_bandwidth_bps`` adds per-rack uplink ports that
+        cross-rack traffic must additionally traverse (oversubscription);
+        ``None`` models a non-blocking core (the default)."""
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth_bps}")
+        if base_latency_s < 0:
+            raise ValueError(f"negative latency: {base_latency_s}")
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(
+                f"loss probability must be in [0, 1), got {loss_probability}"
+            )
+        if rack_uplink_bandwidth_bps is not None and rack_uplink_bandwidth_bps <= 0:
+            raise ValueError("uplink bandwidth must be positive")
+        self.sim = sim
+        self.cluster = cluster
+        self.bandwidth_bps = bandwidth_bps
+        self.base_latency_s = base_latency_s
+        self.rack_hop_latency_s = rack_hop_latency_s
+        self.name = name
+        self.loss_probability = loss_probability
+        self.messages_lost = 0
+        self._loss_rng = None
+        if loss_probability > 0.0:
+            import numpy as np
+
+            self._loss_rng = np.random.default_rng(loss_seed)
+        self.ports: Dict[int, NicPort] = {
+            m.machine_id: NicPort(sim, self, m.machine_id) for m in cluster
+        }
+        self.uplinks: Dict[int, "_RackUplink"] = {}
+        if rack_uplink_bandwidth_bps is not None:
+            self.uplinks = {
+                rack: _RackUplink(sim, self, rack, rack_uplink_bandwidth_bps)
+                for rack in range(cluster.n_racks)
+            }
+        self._receivers: Dict[int, Receiver] = {}
+        self.bytes_by_kind: Dict[str, int] = defaultdict(int)
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------
+    def bind(self, machine_id: int, receiver: Receiver) -> None:
+        """Register the delivery callback for ``machine_id``."""
+        if machine_id in self._receivers:
+            raise ValueError(
+                f"machine {machine_id} already bound on fabric {self.name!r}"
+            )
+        self._receivers[machine_id] = receiver
+
+    def send(self, msg: WireMessage) -> None:
+        """Inject ``msg`` at its source machine's egress port."""
+        if msg.src_machine == msg.dst_machine:
+            # Loopback: no NIC, no wire; deliver at the current instant.
+            ev = self.sim.event()
+            ev.callbacks.append(lambda _e: self._deliver(msg))
+            ev.succeed()
+            return
+        self.ports[msg.src_machine].enqueue(msg)
+
+    def latency(self, src: int, dst: int) -> float:
+        """One-way propagation latency between two machines."""
+        hops = self.cluster.rack_hops(src, dst)
+        return self.base_latency_s + hops * self.rack_hop_latency_s
+
+    # ------------------------------------------------------------------
+    def _propagate(self, msg: WireMessage) -> None:
+        if self._loss_rng is not None and (
+            self._loss_rng.random() < self.loss_probability
+        ):
+            # Fault injection: the message vanishes in flight (but the
+            # sender's NIC already spent the transmission — as on a real
+            # lossy link).
+            self.messages_lost += 1
+            if msg.on_delivered is not None:
+                # Ring regions must still be recycled: the sender-side
+                # buffer was consumed regardless of delivery.
+                msg.on_delivered(msg)
+                msg.on_delivered = None
+            return
+        # Oversubscribed core: cross-rack traffic transits the source
+        # rack's uplink before propagating.
+        if self.uplinks and self.cluster.rack_hops(
+            msg.src_machine, msg.dst_machine
+        ):
+            self.uplinks[self.cluster[msg.src_machine].rack].enqueue(msg)
+            return
+        self._schedule_delivery(msg)
+
+    def _schedule_delivery(self, msg: WireMessage) -> None:
+        delay = self.latency(msg.src_machine, msg.dst_machine)
+        ev = self.sim.timeout(delay)
+        ev.callbacks.append(lambda _e: self._deliver(msg))
+
+    def _deliver(self, msg: WireMessage) -> None:
+        self.bytes_by_kind[msg.kind] += msg.size_bytes
+        self.messages_delivered += 1
+        if msg.on_delivered is not None:
+            msg.on_delivered(msg)
+        receiver = self._receivers.get(msg.dst_machine)
+        if receiver is None:
+            raise LookupError(
+                f"no receiver bound for machine {msg.dst_machine} on "
+                f"fabric {self.name!r}"
+            )
+        receiver(msg)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes_sent(self) -> int:
+        return sum(p.bytes_sent for p in self.ports.values())

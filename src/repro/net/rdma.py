@@ -1,0 +1,172 @@
+"""RDMA transport: verbs over the InfiniBand fabric through per-machine RNICs.
+
+Whale uses two verb families (Section 4):
+
+* **two-sided send/recv** — for control messages (tree rewiring), where
+  the receiver cannot know data addresses in advance;
+* **one-sided read** — for the multicast data path, where the ring memory
+  region gives destinations sequential access to data addresses, so reads
+  stay pipelined and the *data sender* pays almost no CPU.
+
+Each verb has an *effective per-message profile* (sender CPU, receiver
+CPU); see :class:`repro.net.costs.CostModel` for calibration notes.  All
+verbs traverse the RNIC work-request queue and, when ``use_ring`` is on,
+hold a ring memory region until the fabric consumes the message.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional
+
+from repro.net import cpu as cpu_categories
+from repro.net.costs import CostModel
+from repro.net.cpu import CpuAccount
+from repro.net.fabric import Fabric
+from repro.net.message import WireMessage
+from repro.net.rnic import Rnic, WorkRequest
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class Verb(enum.Enum):
+    """RDMA operation kinds."""
+
+    SEND = "send"  # two-sided send/recv
+    WRITE = "write"  # one-sided write
+    READ = "read"  # one-sided read (receiver-initiated, ring-prefetched)
+
+
+@dataclass(frozen=True)
+class VerbProfile:
+    """Effective per-message CPU costs of a verb in Whale's pipeline."""
+
+    verb: Verb
+    sender_cpu_s: float
+    receiver_cpu_s: float
+
+    @staticmethod
+    def from_costs(costs: CostModel, verb: Verb) -> "VerbProfile":
+        if verb is Verb.SEND:
+            return VerbProfile(
+                verb,
+                sender_cpu_s=costs.rdma_post_cpu_s + costs.rdma_send_credit_cpu_s,
+                receiver_cpu_s=costs.rdma_twosided_recv_cpu_s,
+            )
+        if verb is Verb.WRITE:
+            return VerbProfile(
+                verb,
+                sender_cpu_s=costs.rdma_post_cpu_s,
+                receiver_cpu_s=costs.rdma_write_poll_cpu_s,
+            )
+        if verb is Verb.READ:
+            return VerbProfile(
+                verb,
+                sender_cpu_s=costs.rdma_read_sender_cpu_s,
+                receiver_cpu_s=costs.rdma_read_receiver_cpu_s,
+            )
+        raise ValueError(f"unknown verb {verb!r}")
+
+
+class RdmaTransport:
+    """Machine-to-machine RDMA with selectable verbs.
+
+    Parameters
+    ----------
+    data_verb:
+        Verb used for data messages.  ``Verb.SEND`` models RDMA-based
+        Storm (naive two-sided replacement of TCP); ``Verb.READ`` models
+        Whale's optimized primitives ("Whale_DiffVerbs").
+    control_verb:
+        Verb for control messages; Whale always uses two-sided SEND here
+        because control receivers cannot learn addresses from the ring.
+    """
+
+    name = "rdma"
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        fabric: Fabric,
+        costs: CostModel,
+        data_verb: Verb = Verb.SEND,
+        control_verb: Verb = Verb.SEND,
+        use_ring: bool = True,
+        ring_capacity_bytes: int = 8 * 1024 * 1024,
+    ):
+        self.sim = sim
+        self.fabric = fabric
+        self.costs = costs
+        self.data_verb = data_verb
+        self.control_verb = control_verb
+        self.use_ring = use_ring
+        self.rnics: Dict[int, Rnic] = {
+            m.machine_id: Rnic(
+                sim,
+                m.machine_id,
+                fabric,
+                costs,
+                ring_capacity_bytes=ring_capacity_bytes,
+            )
+            for m in fabric.cluster
+        }
+        self._inboxes: Dict[int, Store] = {}
+        self._profiles: Dict[Verb, VerbProfile] = {
+            v: VerbProfile.from_costs(costs, v) for v in Verb
+        }
+
+    # ------------------------------------------------------------------
+    def profile(self, verb: Verb) -> VerbProfile:
+        return self._profiles[verb]
+
+    def bind_inbox(self, machine_id: int) -> Store:
+        """Create (once) and return the delivery inbox for a machine."""
+        inbox = self._inboxes.get(machine_id)
+        if inbox is None:
+            inbox = Store(self.sim)
+            self._inboxes[machine_id] = inbox
+            self.fabric.bind(machine_id, inbox.try_put)
+        return inbox
+
+    def send(
+        self,
+        src_machine: int,
+        dst_machine: int,
+        payload: Any,
+        size_bytes: int,
+        cpu: CpuAccount,
+        kind: str = "data",
+        verb: Optional[Verb] = None,
+    ) -> Iterator:
+        """Send one message (generator; charges sender CPU, posts a WR).
+
+        Applies ring-memory-region backpressure: if the ring is full, the
+        caller blocks until a region is recycled — the RDMA analogue of a
+        full transfer queue.
+        """
+        if verb is None:
+            verb = self.data_verb if kind == "data" else self.control_verb
+        prof = self._profiles[verb]
+        yield from cpu.work(prof.sender_cpu_s, cpu_categories.RDMA_POST)
+        msg = WireMessage(
+            payload=payload,
+            size_bytes=size_bytes,
+            src_machine=src_machine,
+            dst_machine=dst_machine,
+            kind=kind,
+            recv_cpu_s=prof.receiver_cpu_s,
+        )
+        if src_machine == dst_machine:
+            # Loopback bypasses the RNIC entirely.
+            self.fabric.send(msg)
+            return msg
+        rnic = self.rnics[src_machine]
+        ring_bytes = 0
+        if self.use_ring and size_bytes > 0:
+            yield rnic.ring.alloc(size_bytes)
+            ring_bytes = size_bytes
+        yield rnic.post(WorkRequest(msg, ring_bytes=ring_bytes))
+        return msg

@@ -1,0 +1,134 @@
+"""The simulation engine: a virtual clock over a binary-heap event queue.
+
+The engine is intentionally minimal and allocation-light: the hot loop is
+``heappop`` + callback dispatch.  Events scheduled at the same instant run
+in FIFO order (a monotonically increasing sequence number breaks ties), so
+runs are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional, Union
+
+from repro.sim.events import Event, SimulationError, Timeout
+from repro.sim.process import Process
+
+#: Priority for ordinary events.
+NORMAL = 1
+#: Priority for urgent events (interrupts, process bootstrap).
+URGENT = 0
+
+
+class Simulator:
+    """Discrete-event simulator with a float clock in seconds."""
+
+    __slots__ = ("_now", "_queue", "_seq", "_active_count")
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list = []
+        self._seq = count()
+        self._active_count = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator)
+
+    # ------------------------------------------------------------------
+    # scheduling / execution
+    # ------------------------------------------------------------------
+    def _schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            # An unhandled failure: surface it instead of losing it.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[Union[float, Event]] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until the event queue drains.
+            ``float``
+                run until simulated time reaches ``until`` (the clock is
+                advanced to exactly ``until`` even if no event lands there).
+            :class:`Event`
+                run until that event has been processed; returns its value.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            stop = until
+            if stop.processed:
+                return stop.value
+            sentinel = []
+
+            def _mark(_ev: Event) -> None:
+                sentinel.append(True)
+
+            stop.callbacks.append(_mark)
+            while self._queue and not sentinel:
+                self.step()
+            if not sentinel:
+                raise SimulationError(
+                    "event queue drained before the 'until' event triggered"
+                )
+            if not stop._ok:
+                stop.defuse()
+                raise stop._value
+            return stop._value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"run(until={horizon}) is in the past (now={self._now})"
+            )
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

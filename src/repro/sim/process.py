@@ -1,0 +1,107 @@
+"""Generator-coroutine processes.
+
+A :class:`Process` wraps a Python generator.  Each ``yield`` hands the
+engine an :class:`~repro.sim.events.Event` to wait on; the generator is
+resumed with the event's value (or the event's exception is thrown into
+it).  A process is itself an event that triggers with the generator's
+return value, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event, Interrupt, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class Process(Event):
+    """A running simulation process (also an awaitable event)."""
+
+    __slots__ = ("_gen", "_target")
+
+    def __init__(self, sim: "Simulator", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process() needs a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim)
+        self._gen = generator
+        #: The event this process currently waits on (``None`` while running).
+        self._target: Optional[Event] = None
+        bootstrap = Event(sim)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap.callbacks.append(self._resume)
+        from repro.sim.engine import URGENT
+
+        sim._schedule(bootstrap, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        ev = Event(self.sim)
+        ev._ok = False
+        ev._value = Interrupt(cause)
+        ev._defused = True
+        ev.callbacks.append(self._resume)
+        from repro.sim.engine import URGENT
+
+        self.sim._schedule(ev, priority=URGENT)
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # The process finished between this event being scheduled and
+            # processed (e.g. it interrupted itself and then returned).
+            if not event._ok:
+                event._defused = True
+            return
+        # Detach from the previous target if an interrupt preempted it.
+        target = self._target
+        if target is not None and target is not event:
+            if target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._gen.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._gen.throw(event._value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                err = SimulationError(
+                    f"process yielded {next_event!r}, expected an Event"
+                )
+                self._gen.close()
+                self.fail(err)
+                return
+            if next_event.callbacks is None:
+                # Already processed: resume immediately with its outcome.
+                event = next_event
+                if not event._ok:
+                    event._defused = True
+                continue
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+            return

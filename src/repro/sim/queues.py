@@ -1,0 +1,152 @@
+"""The monitored, bounded transfer queue.
+
+The *transfer queue* is the central object of the paper's queueing model:
+the source instance's outgoing buffer with capacity ``Q``.  Whale's
+self-adjusting mechanism watches its waterline; Storm and RDMC simply let
+it fill up.  This subclass of :class:`~repro.sim.resources.Store` records
+everything the monitors and the evaluation need:
+
+* instantaneous and high-watermark length,
+* time-weighted average length (for ``E(L)`` comparisons with the M/D/1
+  model),
+* offered/accepted/dropped counts (``try_put`` drops when full — the
+  paper's *stream input loss*, Definition 4),
+* per-item enqueue timestamps, so dequeue latency (the paper's queueing
+  component of multicast latency) is measurable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Tuple
+
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+@dataclass
+class QueueStats:
+    """Aggregated statistics snapshot of a :class:`TransferQueue`."""
+
+    offered: int
+    accepted: int
+    dropped: int
+    max_length: int
+    time_avg_length: float
+    total_wait_time: float
+    dequeued: int
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean time an item spent queued, in seconds."""
+        return self.total_wait_time / self.dequeued if self.dequeued else 0.0
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of offered items that were dropped."""
+        return self.dropped / self.offered if self.offered else 0.0
+
+
+class TransferQueue(Store):
+    """Bounded FIFO with waterline statistics.
+
+    Items are stored as ``(enqueue_time, payload)`` internally; ``get``
+    returns only the payload.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = math.inf):
+        super().__init__(sim, capacity)
+        self.offered = 0
+        self.accepted = 0
+        self.dropped = 0
+        self.max_length = 0
+        self.total_wait_time = 0.0
+        self.dequeued = 0
+        self._area = 0.0  # integral of length over time
+        self._created = sim.now
+        self._last_change = sim.now
+
+    # ------------------------------------------------------------------
+    # Store hooks
+    # ------------------------------------------------------------------
+    def _on_put(self, item: Any) -> None:
+        self._integrate()
+        self.accepted += 1
+        if len(self.items) > self.max_length:
+            self.max_length = len(self.items)
+
+    def _on_get(self, item: Any) -> None:
+        self._integrate()
+        enq_time, _payload = item
+        self.total_wait_time += self.sim.now - enq_time
+        self.dequeued += 1
+
+    # ------------------------------------------------------------------
+    # timestamped wrappers
+    # ------------------------------------------------------------------
+    def put(self, item: Any):
+        self.offered += 1
+        return super().put((self.sim.now, item))
+
+    def try_put(self, item: Any) -> bool:
+        self.offered += 1
+        ok = super().try_put((self.sim.now, item))
+        if not ok:
+            self.dropped += 1
+        return ok
+
+    def get(self):
+        ev = super().get()
+        return _unwrap(ev)
+
+    def try_get(self) -> Tuple[bool, Any]:
+        ok, item = super().try_get()
+        if not ok:
+            return False, None
+        return True, item[1]
+
+    # ------------------------------------------------------------------
+    def _integrate(self) -> None:
+        now = self.sim.now
+        self._area += len(self.items) * (now - self._last_change)
+        self._last_change = now
+
+    def time_avg_length(self) -> float:
+        """Time-weighted mean queue length since creation."""
+        self._integrate()
+        span = self._last_change - self._created
+        return self._area / span if span > 0 else float(len(self.items))
+
+    def stats(self) -> QueueStats:
+        return QueueStats(
+            offered=self.offered,
+            accepted=self.accepted,
+            dropped=self.dropped,
+            max_length=self.max_length,
+            time_avg_length=self.time_avg_length(),
+            total_wait_time=self.total_wait_time,
+            dequeued=self.dequeued,
+        )
+
+
+def _unwrap(event):
+    """Rewrite a Store.get event so waiters see the payload, not the pair."""
+    if event.triggered:
+        event._value = event._value[1]
+        return event
+
+    # Defer unwrapping until the event triggers: chain through a proxy.
+    proxy = event.sim.event()
+
+    def _forward(ev):
+        if ev.ok:
+            proxy.succeed(ev.value[1])
+        else:
+            ev.defuse()
+            proxy.fail(ev.value)
+
+    event.callbacks.append(_forward)
+    return proxy

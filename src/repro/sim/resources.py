@@ -1,0 +1,149 @@
+"""Shared resources: FIFO stores and counted resources.
+
+:class:`Store` is the building block for every queue in the system model
+(executor send/receive queues, NIC work-request queues, ...).  ``put`` and
+``get`` return events so processes block naturally when a store is full or
+empty.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Tuple
+
+from repro.sim.events import Event, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class Store:
+    """A FIFO buffer with bounded capacity.
+
+    ``put(item)`` blocks (i.e. the returned event stays untriggered) while
+    the store is full; ``get()`` blocks while it is empty.  Waiters are
+    served in FIFO order.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = math.inf):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Tuple[Event, Any]] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        """Number of items currently buffered."""
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    # ------------------------------------------------------------------
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the event triggers once the item is accepted."""
+        ev = Event(self.sim)
+        if len(self.items) < self.capacity and not self._putters:
+            self._accept(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put: returns ``False`` (rejecting) if full."""
+        if len(self.items) < self.capacity and not self._putters:
+            self._accept(item)
+            return True
+        return False
+
+    def get(self) -> Event:
+        """Remove the oldest item; the event's value is the item."""
+        ev = Event(self.sim)
+        if self.items:
+            ev.succeed(self._release())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self.items:
+            return True, self._release()
+        return False, None
+
+    # ------------------------------------------------------------------
+    # hooks for subclasses (stats collection)
+    # ------------------------------------------------------------------
+    def _on_put(self, item: Any) -> None:
+        """Called whenever an item physically enters the buffer."""
+
+    def _on_get(self, item: Any) -> None:
+        """Called whenever an item physically leaves the buffer."""
+
+    # ------------------------------------------------------------------
+    def _accept(self, item: Any) -> None:
+        self.items.append(item)
+        self._on_put(item)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(self._release())
+
+    def _release(self) -> Any:
+        item = self.items.popleft()
+        self._on_get(item)
+        # Freed a slot: admit the longest-waiting putter, if any.
+        if self._putters and len(self.items) < self.capacity:
+            ev, pending = self._putters.popleft()
+            self.items.append(pending)
+            self._on_put(pending)
+            ev.succeed()
+        return item
+
+
+class Resource:
+    """A counted resource (e.g. CPU cores on a machine).
+
+    ``request()`` returns an event that triggers when a unit is granted;
+    ``release()`` frees a unit.  Grants are FIFO.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def request(self) -> Event:
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            # Hand the unit directly to the next waiter.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1

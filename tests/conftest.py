@@ -1,0 +1,13 @@
+"""Pytest configuration for the test suite."""
+
+from hypothesis import HealthCheck, settings
+
+# Property tests run deterministic simulations whose wall-clock time
+# varies with machine load; disable the per-example deadline so CI noise
+# cannot flake them (they are still bounded by max_examples).
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,259 @@
+"""Tests for the Whale core: batch formats, monitors, and the
+self-adjusting multicast controller (including a dynamic-rate scenario)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchTuple,
+    MulticastController,
+    QueueMonitor,
+    StreamMonitor,
+    create_system,
+    group_tasks_by_machine,
+    whale_full_config,
+)
+from repro.core.batch import make_worker_messages
+from repro.dsps import AllGrouping, Bolt, Spout, Topology
+from repro.dsps.scheduler import schedule
+from repro.dsps.tuples import StreamTuple
+from repro.net import Cluster, CostModel, SerializationModel
+from repro.sim import Simulator, TransferQueue
+from repro.workloads import DynamicRateArrivals, RateStep
+
+
+# ----------------------------------------------------------------------
+# batch formats
+# ----------------------------------------------------------------------
+class NullSpout(Spout):
+    def next_tuple(self):
+        return {}, None, 100
+
+
+class NullBolt(Bolt):
+    pass
+
+
+def small_placement(parallelism=8, machines=4):
+    topo = Topology("t")
+    topo.add_spout("src", NullSpout)
+    topo.add_bolt("b", NullBolt, parallelism=parallelism, inputs={"src": AllGrouping()})
+    return schedule(topo, Cluster(machines, 1, 16))
+
+
+def test_group_tasks_by_machine():
+    placement = small_placement(parallelism=8, machines=4)
+    groups = group_tasks_by_machine(placement, placement.tasks_of["b"])
+    assert sorted(groups) == [0, 1, 2, 3]
+    assert sum(len(v) for v in groups.values()) == 8
+
+
+def test_batch_tuple_requires_destinations():
+    tup = StreamTuple(stream="s", values={}, payload_bytes=100)
+    with pytest.raises(ValueError):
+        BatchTuple(tuple=tup, dst_task_ids=())
+
+
+def test_make_worker_messages_one_per_machine():
+    placement = small_placement(parallelism=8, machines=4)
+    ser = SerializationModel(CostModel())
+    tup = StreamTuple(stream="s", values={}, payload_bytes=100)
+    messages = make_worker_messages(placement, ser, tup, placement.tasks_of["b"])
+    assert len(messages) == 4
+    total_ids = sum(m.batch.n_destinations for m in messages)
+    assert total_ids == 8
+    for m in messages:
+        assert m.size_bytes == ser.batch_message_bytes(100, m.batch.n_destinations)
+
+
+# ----------------------------------------------------------------------
+# StreamMonitor
+# ----------------------------------------------------------------------
+def test_stream_monitor_alpha_weighting():
+    m = StreamMonitor(alpha=0.5)
+    assert m.observe(0, 1.0) == 0.0  # first sample seeds
+    r1 = m.observe(100, 1.0)  # N=100 -> 0.5*0 + 0.5*100
+    assert r1 == pytest.approx(50.0)
+    r2 = m.observe(300, 1.0)  # N=200 -> 0.5*50 + 0.5*200
+    assert r2 == pytest.approx(125.0)
+    assert m.rate == pytest.approx(125.0)
+
+
+def test_stream_monitor_validation():
+    with pytest.raises(ValueError):
+        StreamMonitor(alpha=1.0)
+    m = StreamMonitor()
+    with pytest.raises(ValueError):
+        m.observe(10, 0.0)
+
+
+# ----------------------------------------------------------------------
+# QueueMonitor (Section 3.3 rules)
+# ----------------------------------------------------------------------
+def make_queue(sim, levels):
+    q = TransferQueue(sim, capacity=100)
+    for _ in range(levels):
+        q.try_put("x")
+    return q
+
+
+def test_queue_monitor_scale_down_on_waterline_crossing():
+    sim = Simulator()
+    q = make_queue(sim, 10)
+    mon = QueueMonitor(q, warning_waterline=50, t_down=0.5, t_up=0.5)
+    assert mon.sample().action == "hold"  # first sample: no history
+    for _ in range(45):
+        q.try_put("x")  # 10 -> 55, above l_w
+    assert mon.sample().action == "scale_down"
+
+
+def test_queue_monitor_scale_down_on_fast_growth():
+    sim = Simulator()
+    q = make_queue(sim, 10)
+    mon = QueueMonitor(q, warning_waterline=50, t_down=0.4, t_up=0.5)
+    mon.sample()
+    for _ in range(20):
+        q.try_put("x")  # dL=20, l=30, l_w-l=20 -> ratio 1.0 >= 0.4
+    assert mon.sample().action == "scale_down"
+
+
+def test_queue_monitor_holds_on_slow_growth():
+    sim = Simulator()
+    q = make_queue(sim, 10)
+    mon = QueueMonitor(q, warning_waterline=50, t_down=0.4, t_up=0.5)
+    mon.sample()
+    q.try_put("x")  # dL=1, l=11 -> 1/39 < 0.4
+    assert mon.sample().action == "hold"
+
+
+def test_queue_monitor_scale_up_on_fast_drain():
+    sim = Simulator()
+    q = make_queue(sim, 40)
+    mon = QueueMonitor(q, warning_waterline=50, t_down=0.4, t_up=0.5)
+    mon.sample()
+
+    def drain(sim):
+        for _ in range(30):
+            yield q.get()
+
+    sim.process(drain(sim))
+    sim.run()
+    # dL = 30 drop from l'=40 -> 0.75 >= T_up
+    assert mon.sample().action == "scale_up"
+
+
+def test_queue_monitor_scale_up_on_empty_queue():
+    sim = Simulator()
+    q = make_queue(sim, 0)
+    mon = QueueMonitor(q, warning_waterline=50, t_down=0.4, t_up=0.5)
+    mon.sample()
+    assert mon.sample().action == "scale_up"  # l == l' == 0
+
+
+def test_queue_monitor_validation():
+    sim = Simulator()
+    q = make_queue(sim, 0)
+    with pytest.raises(ValueError):
+        QueueMonitor(q, warning_waterline=0, t_down=0.4, t_up=0.5)
+    with pytest.raises(ValueError):
+        QueueMonitor(q, warning_waterline=10, t_down=0, t_up=0.5)
+
+
+# ----------------------------------------------------------------------
+# controller end to end: dynamic switching under a rate spike
+# ----------------------------------------------------------------------
+class Sink(Bolt):
+    base_service_s = 1e-6
+
+
+def adaptive_system(d_star, steps, machines=8, parallelism=32, seed=5):
+    topo = Topology("dyn")
+    topo.add_spout("src", NullSpout)
+    topo.add_bolt(
+        "sink", Sink, parallelism=parallelism, inputs={"src": AllGrouping()}
+    )
+    rng = np.random.default_rng(seed)
+    # Slow serialization makes the source's capacity small, so a modest
+    # spike genuinely overloads it (and the test runs fast).
+    costs = CostModel().with_overrides(serialize_per_byte_s=280e-9)
+    config = whale_full_config(d_star=d_star, costs=costs).with_overrides(
+        monitor_interval_s=0.02,
+        transfer_queue_capacity=128,
+    )
+    system = create_system(
+        topo,
+        config,
+        cluster=Cluster(machines, 1, 16),
+        arrivals={"src": DynamicRateArrivals(steps, rng)},
+    )
+    return system
+
+
+def test_controller_attached_only_when_adaptive():
+    system = adaptive_system(3, [RateStep(0.0, 500.0)])
+    assert len(system.controllers) == 1
+    from repro.core import whale_woc_rdma_config
+
+    topo = Topology("t2")
+    topo.add_spout("src", NullSpout)
+    topo.add_bolt("sink", Sink, parallelism=4, inputs={"src": AllGrouping()})
+    nonadaptive = create_system(
+        topo, whale_woc_rdma_config(), cluster=Cluster(2, 1, 16)
+    )
+    assert nonadaptive.controllers == []
+
+
+def test_controller_scales_down_under_rate_spike():
+    """A 20x input spike must trigger negative scale-down, and the
+    transfer queue must never exceed its capacity Q afterwards."""
+    # Start with a deliberately generous out-degree (deep pipeline OK at
+    # low rate), then spike the rate past the source's capacity.
+    system = adaptive_system(
+        d_star=5,
+        steps=[RateStep(0.0, 500.0), RateStep(0.3, 10_000.0)],
+    )
+    system.run_measured(warmup_s=0.0, measure_s=1.0)
+    controller = system.controllers[0]
+    downs = [r for r in controller.history if r.direction == "scale_down"]
+    assert downs, "no scale-down despite 20x rate spike"
+    first = downs[0]
+    assert first.time >= 0.3  # only after the spike
+    assert first.new_d_star < first.old_d_star
+    # The controller's whole point: the queue stayed within capacity.
+    src = system.source_executor("src")
+    assert src.transfer_queue.stats().max_length <= 128
+
+
+def test_controller_scales_up_when_rate_drops():
+    system = adaptive_system(
+        d_star=1,
+        steps=[RateStep(0.0, 200.0)],
+    )
+    system.run_measured(warmup_s=0.0, measure_s=2.0)
+    controller = system.controllers[0]
+    ups = [r for r in controller.history if r.direction == "scale_up"]
+    assert ups, "idle queue should trigger active scale-up"
+    assert ups[0].new_d_star > 1
+
+
+def test_switch_records_have_duration_and_traffic():
+    system = adaptive_system(
+        d_star=5,
+        steps=[RateStep(0.0, 500.0), RateStep(0.3, 10_000.0)],
+    )
+    system.run_measured(warmup_s=0.0, measure_s=1.0)
+    controller = system.controllers[0]
+    assert controller.history
+    for record in controller.history:
+        assert record.duration_s >= system.config.switch_delay_s
+        assert record.duration_s < 0.1  # switching is fast (Fig. 23: ~126ms)
+    # Control messages hit the wire.
+    assert system.traffic_bytes("control") > 0
+
+
+def test_double_start_rejected():
+    system = adaptive_system(3, [RateStep(0.0, 100.0)])
+    system.start()
+    controller = system.controllers[0]
+    with pytest.raises(RuntimeError):
+        controller.start()

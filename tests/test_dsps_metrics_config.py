@@ -1,0 +1,155 @@
+"""Unit tests for MetricsHub, trackers, and SystemConfig validation."""
+
+import math
+
+import pytest
+
+from repro.dsps import MetricsHub, SystemConfig
+from repro.dsps.metrics import LatencySummary
+from repro.net.rdma import Verb
+from repro.sim import Simulator
+
+
+# ----------------------------------------------------------------------
+# LatencySummary
+# ----------------------------------------------------------------------
+def test_latency_summary_stats():
+    s = LatencySummary.from_samples([1.0, 2.0, 3.0, 4.0])
+    assert s.count == 4
+    assert s.mean == pytest.approx(2.5)
+    assert s.p50 == pytest.approx(2.5)
+    assert s.max == 4.0
+
+
+def test_latency_summary_empty():
+    s = LatencySummary.from_samples([])
+    assert s.count == 0
+    assert math.isnan(s.mean)
+
+
+# ----------------------------------------------------------------------
+# trackers
+# ----------------------------------------------------------------------
+def test_multicast_tracker_completes_on_last_receive():
+    sim = Simulator()
+    hub = MetricsHub(sim)
+    hub.multicast.register(1, 3, emit_time=0.0)
+    sim.timeout(2.0)
+    sim.run()
+    hub.multicast.on_receive(1)
+    hub.multicast.on_receive(1)
+    assert hub.multicast.completed == 0
+    hub.multicast.on_receive(1)
+    assert hub.multicast.completed == 1
+    assert hub.multicast.latencies == [pytest.approx(2.0)]
+    assert hub.multicast.outstanding == 0
+
+
+def test_multicast_tracker_ignores_unknown_and_cancelled():
+    sim = Simulator()
+    hub = MetricsHub(sim)
+    hub.multicast.on_receive(99)  # unknown: no-op
+    hub.multicast.register(1, 2, 0.0)
+    hub.multicast.cancel(1)
+    hub.multicast.on_receive(1)
+    assert hub.multicast.completed == 0
+
+
+def test_completion_tracker():
+    sim = Simulator()
+    hub = MetricsHub(sim)
+    hub.completion.register(5, 2, created_at=0.0)
+    sim.timeout(1.5)
+    sim.run()
+    hub.completion.on_executed(5)
+    hub.completion.on_executed(5)
+    assert hub.completion.completed == 1
+    assert hub.completion.latencies == [pytest.approx(1.5)]
+
+
+def test_tracker_register_validation():
+    sim = Simulator()
+    hub = MetricsHub(sim)
+    with pytest.raises(ValueError):
+        hub.multicast.register(1, 0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# measurement window
+# ----------------------------------------------------------------------
+def test_window_gates_recording():
+    sim = Simulator()
+    hub = MetricsHub(sim)
+    hub.on_processed("op")  # before window: ignored
+    hub.open_window()
+    hub.on_processed("op")
+    sim.timeout(2.0)
+    sim.run()
+    hub.close_window()
+    sim.timeout(1.0)
+    sim.run()
+    hub.on_processed("op")  # after window: ignored
+    assert hub.processed["op"] == 1
+    assert hub.throughput("op") == pytest.approx(0.5)
+
+
+def test_window_close_requires_open():
+    hub = MetricsHub(Simulator())
+    with pytest.raises(RuntimeError):
+        hub.close_window()
+    with pytest.raises(RuntimeError):
+        _ = hub.window_duration
+
+
+# ----------------------------------------------------------------------
+# SystemConfig
+# ----------------------------------------------------------------------
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SystemConfig(name="x", transport="carrier-pigeon")
+    with pytest.raises(ValueError):
+        SystemConfig(name="x", multicast="star")
+    with pytest.raises(ValueError):
+        SystemConfig(name="x", transfer_queue_capacity=0)
+    with pytest.raises(ValueError):
+        SystemConfig(name="x", transport="tcp", slicing=True)
+    with pytest.raises(ValueError):
+        SystemConfig(name="x", warning_waterline_fraction=1.5)
+    with pytest.raises(ValueError):
+        SystemConfig(name="x", d_star=0)
+
+
+def test_config_waterline_derived():
+    cfg = SystemConfig(
+        name="x", transfer_queue_capacity=100, warning_waterline_fraction=0.5
+    )
+    assert cfg.warning_waterline == 50.0
+
+
+def test_config_with_overrides():
+    cfg = SystemConfig(name="x")
+    cfg2 = cfg.with_overrides(transport="rdma", data_verb=Verb.READ)
+    assert cfg2.transport == "rdma"
+    assert cfg.transport == "tcp"
+
+
+def test_preset_table_matches_docs():
+    from repro.dsps import rdma_storm_config, storm_config
+    from repro.dsps.presets import rdmc_config
+    from repro.core import (
+        whale_full_config,
+        whale_woc_config,
+        whale_woc_rdma_config,
+    )
+
+    assert storm_config().transport == "tcp"
+    assert not storm_config().worker_oriented
+    assert rdma_storm_config().transport == "rdma"
+    assert not rdma_storm_config().worker_oriented
+    assert rdmc_config().multicast == "binomial"
+    assert whale_woc_config().worker_oriented
+    assert whale_woc_config().transport == "tcp"
+    rdma = whale_woc_rdma_config()
+    assert rdma.slicing and rdma.data_verb == Verb.READ
+    full = whale_full_config()
+    assert full.multicast == "nonblocking" and full.adaptive

@@ -1,0 +1,224 @@
+"""Integration tests: full systems end to end on small clusters.
+
+Scales are deliberately small (parallelism <= 64, sub-second windows) to
+keep the suite fast; the benchmarks run the paper-scale versions.
+"""
+
+import pytest
+
+from repro.apps import ride_hailing_topology
+from repro.core import (
+    create_system,
+    whale_full_config,
+    whale_woc_config,
+    whale_woc_rdma_config,
+)
+from repro.dsps import (
+    AllGrouping,
+    Bolt,
+    DspsSystem,
+    FieldsGrouping,
+    ShuffleGrouping,
+    Spout,
+    Topology,
+    rdma_storm_config,
+    storm_config,
+)
+from repro.net import Cluster
+from repro.workloads import ConstantArrivals, PoissonArrivals
+import numpy as np
+
+
+class TickSpout(Spout):
+    payload_bytes = 150
+
+    def __init__(self):
+        self.count = 0
+
+    def next_tuple(self):
+        self.count += 1
+        return {"n": self.count}, None, 150
+
+
+class RecordingBolt(Bolt):
+    base_service_s = 2e-6
+    instances = []
+
+    def __init__(self):
+        self.seen = []
+        RecordingBolt.instances.append(self)
+
+    def execute(self, tup, collector):
+        self.seen.append(tup.values["n"])
+
+
+def broadcast_topology(parallelism=8):
+    RecordingBolt.instances = []
+    topo = Topology("t")
+    topo.add_spout("src", TickSpout)
+    topo.add_bolt(
+        "sink",
+        RecordingBolt,
+        parallelism=parallelism,
+        inputs={"src": AllGrouping()},
+        terminal=True,
+    )
+    return topo
+
+
+def run_system(config, parallelism=8, rate=500.0, machines=4, measure=0.5):
+    topo = broadcast_topology(parallelism)
+    system = create_system(
+        topo,
+        config,
+        cluster=Cluster(machines, 1, 16),
+        arrivals={"src": ConstantArrivals(rate)},
+    )
+    metrics = system.run_measured(warmup_s=0.2, measure_s=measure)
+    return system, metrics
+
+
+ALL_CONFIGS = [
+    storm_config(),
+    rdma_storm_config(),
+    whale_woc_config(),
+    whale_woc_rdma_config(),
+    whale_full_config(),
+]
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.name)
+def test_every_variant_delivers_broadcasts_correctly(config):
+    """Every destination instance receives every tuple, in order, on every
+    system variant — correctness is transport-independent."""
+    system, metrics = run_system(config, parallelism=8, rate=500.0)
+    bolts = RecordingBolt.instances
+    assert len(bolts) == 8
+    lengths = {len(b.seen) for b in bolts}
+    # All instances saw the same tuples (up to in-flight boundary effects).
+    assert max(lengths) - min(lengths) <= 2
+    reference = bolts[0].seen[:min(lengths)]
+    for b in bolts[1:]:
+        assert b.seen[: len(reference)] == reference
+    # FIFO per instance.
+    assert reference == sorted(reference)
+    assert metrics.throughput("sink") > 0
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.name)
+def test_no_tuple_loss_below_capacity(config):
+    _system, metrics = run_system(config, parallelism=8, rate=200.0)
+    assert sum(metrics.dropped.values()) == 0
+
+
+def test_throughput_ordering_matches_paper():
+    """Fig. 13's who-wins at one point: Storm < RDMA-Storm < Whale-WOC <
+    Whale-WOC-RDMA <= Whale-full, under an offered rate that saturates
+    the weaker systems."""
+    rates = {}
+    for config in ALL_CONFIGS:
+        _sys, metrics = run_system(
+            config, parallelism=64, rate=8000.0, machines=8, measure=0.5
+        )
+        rates[config.name] = metrics.throughput("sink") / 64
+    assert rates["storm"] < rates["rdma-storm"] < rates["whale-woc"]
+    assert rates["whale-woc"] < rates["whale-woc-rdma"]
+    assert rates["whale-woc-rdma"] <= rates["whale"] * 1.2  # full >= ~RDMA
+
+
+def test_storm_source_cpu_saturates_not_downstream():
+    """Fig. 2c: the upstream instance overloads while downstream idles."""
+    system, _metrics = run_system(
+        storm_config(), parallelism=64, rate=4000.0, machines=8
+    )
+    src = system.source_executor("src")
+    down = system.operator_executors("sink")
+    assert src.cpu.utilization() > 0.9
+    down_utils = [d.cpu.utilization() for d in down]
+    assert max(down_utils) < 0.2
+
+
+def test_storm_cpu_breakdown_dominated_by_serialization_and_network():
+    """Fig. 2d: serialization + kernel networking dominate upstream CPU."""
+    system, _ = run_system(storm_config(), parallelism=64, rate=4000.0, machines=8)
+    src = system.source_executor("src")
+    bd = src.cpu.breakdown()
+    assert bd.get("serialization", 0) + bd.get("network", 0) > 0.8
+
+
+def test_whale_traffic_far_below_storm():
+    """Figs. 27/28: worker-oriented batching collapses traffic."""
+    sys_storm, m_storm = run_system(storm_config(), parallelism=32, rate=300.0)
+    sys_whale, m_whale = run_system(whale_woc_config(), parallelism=32, rate=300.0)
+    per_tuple_storm = sys_storm.traffic_bytes("data") / max(1, m_storm.emitted["src"])
+    per_tuple_whale = sys_whale.traffic_bytes("data") / max(1, m_whale.emitted["src"])
+    assert per_tuple_whale < per_tuple_storm / 4
+
+
+def test_multicast_latency_recorded_for_broadcast():
+    _system, metrics = run_system(whale_full_config(), parallelism=16, rate=300.0)
+    summary = metrics.multicast.summary()
+    assert summary.count > 50
+    assert 0 < summary.p50 < 0.05
+
+
+def test_run_measured_requires_single_start():
+    topo = broadcast_topology(4)
+    system = DspsSystem(
+        topo,
+        storm_config(),
+        cluster=Cluster(2, 1, 16),
+        arrivals={"src": ConstantArrivals(100.0)},
+    )
+    system.start()
+    with pytest.raises(RuntimeError):
+        system.start()
+
+
+def test_unknown_spout_in_arrivals_rejected():
+    topo = broadcast_topology(4)
+    with pytest.raises(KeyError):
+        DspsSystem(
+            topo,
+            storm_config(),
+            cluster=Cluster(2, 1, 16),
+            arrivals={"nope": ConstantArrivals(1.0)},
+        )
+
+
+def test_spout_without_arrivals_fails_loudly():
+    topo = broadcast_topology(4)
+    system = DspsSystem(topo, storm_config(), cluster=Cluster(2, 1, 16))
+    system.start()
+    with pytest.raises(RuntimeError, match="arrival process"):
+        system.sim.run(until=0.1)
+
+
+def test_ride_hailing_end_to_end_real_matching():
+    """The actual application logic: drivers stream in, requests match
+    against them, the aggregator keeps best candidates."""
+    topo = ride_hailing_topology(
+        parallelism=8, n_drivers=200, compute_real_matches=True,
+        aggregate_parallelism=1,
+    )
+    rng = np.random.default_rng(3)
+    system = create_system(
+        topo,
+        whale_woc_config(),
+        cluster=Cluster(4, 1, 16),
+        arrivals={
+            "driver_locations": PoissonArrivals(2000.0, rng),
+            "requests": PoissonArrivals(200.0, rng),
+        },
+    )
+    metrics = system.run_measured(warmup_s=0.5, measure_s=1.0)
+    matching = system.operator_executors("matching")
+    total_drivers = sum(len(ex.bolt.drivers) for ex in matching)
+    assert total_drivers > 100  # drivers landed, key-grouped
+    assert metrics.processed["matching"] > 0
+    # Some requests found nearby drivers and reached the aggregator.
+    agg = system.operator_executors("aggregate")[0]
+    assert metrics.processed["aggregate"] > 0
+    assert len(agg.bolt.best) > 0
+    for match in list(agg.bolt.best.values())[:10]:
+        assert match["distance"] <= 0.05

@@ -1,0 +1,161 @@
+"""Unit tests for groupings, topology validation, and placement."""
+
+import pytest
+
+from repro.dsps import (
+    AllGrouping,
+    FieldsGrouping,
+    ShuffleGrouping,
+    Topology,
+)
+from repro.dsps.api import Bolt, Spout
+from repro.dsps.scheduler import schedule
+from repro.dsps.tuples import StreamTuple
+from repro.net import Cluster
+
+
+def make_tuple(key=None):
+    return StreamTuple(stream="s", values={}, key=key, payload_bytes=10)
+
+
+# ----------------------------------------------------------------------
+# groupings
+# ----------------------------------------------------------------------
+def test_shuffle_round_robins():
+    g = ShuffleGrouping()
+    tasks = [10, 11, 12]
+    picks = [g.choose(make_tuple(), tasks)[0] for _ in range(6)]
+    assert picks == [10, 11, 12, 10, 11, 12]
+
+
+def test_fields_grouping_deterministic():
+    g = FieldsGrouping()
+    tasks = list(range(8))
+    a = g.choose(make_tuple(key="driver-42"), tasks)
+    b = g.choose(make_tuple(key="driver-42"), tasks)
+    assert a == b and len(a) == 1
+
+
+def test_fields_grouping_spreads_keys():
+    g = FieldsGrouping()
+    tasks = list(range(16))
+    chosen = {g.choose(make_tuple(key=i), tasks)[0] for i in range(500)}
+    assert len(chosen) == 16
+
+
+def test_fields_grouping_requires_key():
+    g = FieldsGrouping()
+    with pytest.raises(ValueError):
+        g.choose(make_tuple(key=None), [1, 2])
+
+
+def test_all_grouping_broadcasts():
+    g = AllGrouping()
+    tasks = list(range(480))
+    assert g.choose(make_tuple(), tasks) == tasks
+    assert g.one_to_many
+
+
+def test_groupings_reject_empty_tasks():
+    for g in (ShuffleGrouping(), FieldsGrouping(), AllGrouping()):
+        with pytest.raises(ValueError):
+            g.choose(make_tuple(key=1), [])
+
+
+# ----------------------------------------------------------------------
+# tuples
+# ----------------------------------------------------------------------
+def test_tuple_derive_keeps_root_and_created_at():
+    root = StreamTuple(stream="src", values={"a": 1}, payload_bytes=10, created_at=5.0)
+    child = root.derive(stream="bolt", values={"b": 2})
+    assert child.root_id == root.tuple_id
+    assert child.created_at == 5.0
+    assert child.tuple_id != root.tuple_id
+
+
+def test_tuple_rejects_nonpositive_payload():
+    with pytest.raises(ValueError):
+        StreamTuple(stream="s", values=None, payload_bytes=0)
+
+
+# ----------------------------------------------------------------------
+# topology
+# ----------------------------------------------------------------------
+class NullSpout(Spout):
+    def next_tuple(self):
+        return None, None, 10
+
+
+class NullBolt(Bolt):
+    pass
+
+
+def test_topology_builds_and_validates():
+    topo = Topology("t")
+    topo.add_spout("src", NullSpout)
+    topo.add_bolt("b", NullBolt, parallelism=4, inputs={"src": AllGrouping()})
+    topo.validate()
+    assert [op.name for op in topo.spouts()] == ["src"]
+    assert topo.downstream_of("src")[0].name == "b"
+
+
+def test_topology_rejects_duplicates_and_unknown_upstream():
+    topo = Topology("t")
+    topo.add_spout("src", NullSpout)
+    with pytest.raises(ValueError):
+        topo.add_spout("src", NullSpout)
+    with pytest.raises(ValueError):
+        topo.add_bolt("b", NullBolt, parallelism=1, inputs={"ghost": AllGrouping()})
+    with pytest.raises(ValueError):
+        topo.add_bolt("b", NullBolt, parallelism=0, inputs={"src": AllGrouping()})
+    with pytest.raises(ValueError):
+        topo.add_bolt("b", NullBolt, parallelism=1, inputs={})
+
+
+def test_topology_requires_spout():
+    topo = Topology("empty")
+    with pytest.raises(ValueError):
+        topo.validate()
+
+
+# ----------------------------------------------------------------------
+# scheduler
+# ----------------------------------------------------------------------
+def build_topo(parallelism):
+    topo = Topology("t")
+    topo.add_spout("src", NullSpout)
+    topo.add_bolt(
+        "match", NullBolt, parallelism=parallelism, inputs={"src": AllGrouping()}
+    )
+    return topo
+
+
+def test_schedule_even_spread():
+    cluster = Cluster(30, 1, 16)
+    placement = schedule(build_topo(480), cluster)
+    counts = [len(placement.colocated_tasks("match", m)) for m in range(30)]
+    assert all(c == 16 for c in counts)
+
+
+def test_schedule_spout_on_machine_zero():
+    cluster = Cluster(30, 1, 16)
+    placement = schedule(build_topo(60), cluster)
+    spout_task = placement.tasks_of["src"][0]
+    assert placement.machine_of[spout_task] == 0
+
+
+def test_schedule_task_metadata():
+    cluster = Cluster(4, 1, 16)
+    placement = schedule(build_topo(8), cluster)
+    for i, task in enumerate(placement.tasks_of["match"]):
+        assert placement.operator_of[task] == "match"
+        assert placement.index_of[task] == i
+    assert placement.machines_hosting("match") == [0, 1, 2, 3]
+
+
+def test_schedule_tasks_on_machine():
+    cluster = Cluster(2, 1, 16)
+    placement = schedule(build_topo(4), cluster)
+    all_tasks = set(placement.machine_of)
+    listed = set(placement.tasks_on_machine(0)) | set(placement.tasks_on_machine(1))
+    assert listed == all_tasks

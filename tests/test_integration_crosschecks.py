@@ -1,0 +1,179 @@
+"""Deeper integration cross-checks: DES vs closed forms, monitor inputs,
+fault options through the system layer, and the stocks app across
+variants."""
+
+import numpy as np
+import pytest
+
+from repro.analytic import multicast_latency_estimate, per_hop_time
+from repro.apps import stock_exchange_topology
+from repro.core import create_system, whale_full_config, whale_woc_rdma_config
+from repro.dsps import (
+    AllGrouping,
+    Bolt,
+    DspsSystem,
+    Spout,
+    Topology,
+    rdma_storm_config,
+    storm_config,
+)
+from repro.net import Cluster
+from repro.workloads import ConstantArrivals, PoissonArrivals
+
+
+class FixedSpout(Spout):
+    payload_bytes = 150
+
+    def next_tuple(self):
+        return {}, None, 150
+
+
+class CheapSink(Bolt):
+    base_service_s = 1e-6
+
+
+def broadcast_topo(parallelism):
+    topo = Topology("x")
+    topo.add_spout("src", FixedSpout)
+    topo.add_bolt(
+        "sink", CheapSink, parallelism=parallelism, inputs={"src": AllGrouping()}
+    )
+    return topo
+
+
+# ----------------------------------------------------------------------
+# analytic multicast latency vs DES
+# ----------------------------------------------------------------------
+def test_des_multicast_latency_close_to_analytic_unloaded():
+    """At light load, the measured multicast latency should be within a
+    small factor of the per-hop critical-path estimate."""
+    parallelism, machines = 32, 8
+    config = whale_woc_rdma_config().with_overrides(slicing=False)
+    system = DspsSystem(
+        broadcast_topo(parallelism),
+        config,
+        cluster=Cluster(machines, 1, 16),
+        arrivals={"src": ConstantArrivals(200.0)},
+    )
+    m = system.run_measured(warmup_s=0.2, measure_s=1.0)
+    measured = m.multicast.summary().mean
+    predicted = multicast_latency_estimate(
+        config,
+        "sequential",
+        n_endpoints=machines - 1,  # remote workers
+        payload_bytes=150,
+        arrival_rate=200.0,
+        batch_ids=parallelism // machines,
+    )
+    assert measured == pytest.approx(predicted, rel=1.0)  # same ballpark
+    assert measured < 10 * per_hop_time(config, 150, parallelism // machines) * machines
+
+
+# ----------------------------------------------------------------------
+# executor te estimate feeds the controller
+# ----------------------------------------------------------------------
+def test_te_estimate_tracks_actual_send_time():
+    parallelism, machines = 32, 8
+    config = whale_woc_rdma_config().with_overrides(slicing=False)
+    system = DspsSystem(
+        broadcast_topo(parallelism),
+        config,
+        cluster=Cluster(machines, 1, 16),
+        arrivals={"src": ConstantArrivals(500.0)},
+    )
+    system.run_measured(warmup_s=0.1, measure_s=0.5)
+    src = system.source_executor("src")
+    # Per-replica time ~= serialize(batch of 4 ids) + READ-verb post.
+    ser = system.serialization.serialize_batch_message(150, 4)
+    expected = ser + config.costs.rdma_read_sender_cpu_s
+    assert src.te_estimate == pytest.approx(expected, rel=0.3)
+    assert src.last_out_degree == machines - 1  # sequential over workers
+
+
+# ----------------------------------------------------------------------
+# fabric options through the system stack
+# ----------------------------------------------------------------------
+def test_system_forwards_fabric_options():
+    system = DspsSystem(
+        broadcast_topo(8),
+        storm_config(),
+        cluster=Cluster(4, 2, 16),
+        arrivals={"src": ConstantArrivals(200.0)},
+        fabric_options={
+            "loss_probability": 0.05,
+            "loss_seed": 5,
+            "rack_uplink_bandwidth_bps": 1e8,
+        },
+    )
+    system.run_measured(warmup_s=0.1, measure_s=0.5)
+    assert system.fabric.loss_probability == 0.05
+    assert system.fabric.messages_lost > 0
+    assert len(system.fabric.uplinks) == 2
+    assert sum(u.bytes_sent for u in system.fabric.uplinks.values()) > 0
+
+
+def test_create_system_forwards_fabric_options():
+    system = create_system(
+        broadcast_topo(8),
+        whale_full_config(),
+        cluster=Cluster(4, 1, 16),
+        arrivals={"src": ConstantArrivals(100.0)},
+        fabric_options={"loss_probability": 0.01, "loss_seed": 1},
+    )
+    system.run_measured(warmup_s=0.1, measure_s=1.0)
+    assert system.fabric.messages_lost >= 0  # option installed
+    assert system.fabric.loss_probability == 0.01
+
+
+# ----------------------------------------------------------------------
+# stocks app across all variants (real book logic at small scale)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "make_config",
+    [storm_config, rdma_storm_config, whale_woc_rdma_config,
+     lambda: whale_full_config(d_star=2)],
+    ids=["storm", "rdma-storm", "woc-rdma", "whale-full"],
+)
+def test_stocks_app_correct_on_every_variant(make_config):
+    topo = stock_exchange_topology(parallelism=8, n_symbols=50,
+                                   volume_parallelism=1)
+    rng = np.random.default_rng(4)
+    system = create_system(
+        topo,
+        make_config(),
+        cluster=Cluster(4, 1, 16),
+        arrivals={"orders": PoissonArrivals(400.0, rng)},
+    )
+    metrics = system.run_measured(warmup_s=0.3, measure_s=1.0)
+    matching = system.operator_executors("matching")
+    # Symbol ownership is a partition: every symbol owned exactly once.
+    owned = [
+        sym for ex in matching for sym in range(50) if ex.bolt.owns(sym)
+    ]
+    assert sorted(owned) == list(range(50))
+    trades = sum(ex.bolt.trades for ex in matching)
+    assert trades > 0
+    volume = system.operator_executors("volume")[0].bolt
+    assert volume.total_volume > 0
+    # Window-gated count never exceeds the bolt's lifetime trade count.
+    assert 0 < metrics.processed["volume"] <= trades
+
+
+# ----------------------------------------------------------------------
+# full-system invariants
+# ----------------------------------------------------------------------
+def test_every_variant_conserves_tuples_subsaturation():
+    """emitted x parallelism == processed (+/- in flight) when nothing
+    saturates — no duplication, no loss, on every communication path."""
+    for make in (storm_config, rdma_storm_config, whale_woc_rdma_config,
+                 lambda: whale_full_config(d_star=3)):
+        system = create_system(
+            broadcast_topo(16),
+            make(),
+            cluster=Cluster(4, 1, 16),
+            arrivals={"src": ConstantArrivals(300.0)},
+        )
+        m = system.run_measured(warmup_s=0.2, measure_s=1.0)
+        expected = m.emitted["src"] * 16
+        assert abs(m.processed["sink"] - expected) <= 3 * 16
+        assert sum(m.dropped.values()) == 0

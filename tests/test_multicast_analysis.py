@@ -1,0 +1,157 @@
+"""Tests for the switching analysis (Theorems 3-5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multicast import (
+    SwitchBenefit,
+    affordable_rate_ratio_vs_binomial,
+    loss_free_switch_bound,
+    max_queue_after_switch,
+    scale_down_trigger_length,
+    scale_up_breakeven_tuples,
+    scale_up_is_worthwhile,
+    switch_is_loss_free,
+)
+
+
+# ----------------------------------------------------------------------
+# Theorem 3
+# ----------------------------------------------------------------------
+def test_trigger_length_below_waterline():
+    q = scale_down_trigger_length(
+        waterline=100, growth_per_interval=20, t_down=0.4
+    )
+    assert q == pytest.approx(100 - 50)
+    assert q <= 100
+
+
+def test_trigger_length_floor_at_zero():
+    assert scale_down_trigger_length(10, 1000, 0.4) == 0.0
+
+
+@given(
+    l_w=st.floats(min_value=1, max_value=1e4),
+    growth=st.floats(min_value=0.1, max_value=1e4),
+    t_down=st.floats(min_value=0.01, max_value=10.0),
+    inflow=st.floats(min_value=0.0, max_value=1e5),
+    delay=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=200)
+def test_theorem3_preemptive_never_worse_than_baseline(
+    l_w, growth, t_down, inflow, delay
+):
+    """The preemptive trigger fires at q* <= l_w, so its post-switch
+    maximum queue is <= the baseline switch's (which starts at l_w)."""
+    q_star = scale_down_trigger_length(l_w, growth, t_down)
+    peak_preemptive = max_queue_after_switch(q_star, inflow, 0.0, delay)
+    peak_baseline = max_queue_after_switch(l_w, inflow, 0.0, delay)
+    assert peak_preemptive <= peak_baseline + 1e-9
+
+
+def test_max_queue_validation():
+    with pytest.raises(ValueError):
+        max_queue_after_switch(10, -1, 0, 0.1)
+    with pytest.raises(ValueError):
+        max_queue_after_switch(10, 1, 0, -0.1)
+
+
+# ----------------------------------------------------------------------
+# Theorem 4
+# ----------------------------------------------------------------------
+def test_loss_free_bound_value():
+    # Q=512, q=412, v_in=10k/s -> 100 slots / 10k = 10ms.
+    assert loss_free_switch_bound(512, 412, 10_000) == pytest.approx(0.01)
+
+
+def test_loss_free_predicate():
+    assert switch_is_loss_free(512, 412, 10_000, switch_delay_s=0.005)
+    assert not switch_is_loss_free(512, 412, 10_000, switch_delay_s=0.02)
+
+
+def test_loss_free_bound_validation():
+    with pytest.raises(ValueError):
+        loss_free_switch_bound(0, 0, 100)
+    with pytest.raises(ValueError):
+        loss_free_switch_bound(100, 200, 100)  # q > Q
+    with pytest.raises(ValueError):
+        loss_free_switch_bound(100, -5, 100)
+
+
+@given(
+    q=st.floats(min_value=1, max_value=1e4),
+    frac=st.floats(min_value=0.0, max_value=0.99),
+    rate=st.floats(min_value=1, max_value=1e6),
+)
+@settings(max_examples=100)
+def test_theorem4_bound_is_exactly_overflow_time(q, frac, rate):
+    """Feeding the queue for exactly the bound fills it to Q."""
+    length = q * frac
+    bound = loss_free_switch_bound(q, length, rate)
+    assert length + rate * bound == pytest.approx(q, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Theorem 5
+# ----------------------------------------------------------------------
+def test_breakeven_value():
+    # gamma'=1000/s -> gamma=2000/s with 10ms switch: X > 2e6*0.01/1000 = 20.
+    x = scale_up_breakeven_tuples(2000, 1000, 0.01)
+    assert x == pytest.approx(20.0)
+    assert scale_up_is_worthwhile(21, 2000, 1000, 0.01)
+    assert not scale_up_is_worthwhile(19, 2000, 1000, 0.01)
+
+
+def test_breakeven_requires_improvement():
+    with pytest.raises(ValueError):
+        scale_up_breakeven_tuples(1000, 2000, 0.01)
+    with pytest.raises(ValueError):
+        scale_up_breakeven_tuples(1000, 1000, 0.01)
+
+
+@given(
+    old=st.floats(min_value=1, max_value=1e5),
+    gain=st.floats(min_value=1.01, max_value=100.0),
+    delay=st.floats(min_value=1e-4, max_value=1.0),
+)
+@settings(max_examples=100)
+def test_theorem5_breakeven_is_indifference_point(old, gain, delay):
+    """At exactly X tuples, old-structure time == new-structure time +
+    switch delay; above it the switch wins."""
+    new = old * gain
+    x = scale_up_breakeven_tuples(new, old, delay)
+    time_old = x / old
+    time_new = x / new + delay
+    assert time_old == pytest.approx(time_new, rel=1e-6)
+    assert (2 * x) / old > (2 * x) / new + delay
+
+
+# ----------------------------------------------------------------------
+# M ratio + SwitchBenefit bundle
+# ----------------------------------------------------------------------
+def test_affordable_ratio():
+    # n=480: binomial degree 9; d0=3 -> ratio 3.
+    assert affordable_rate_ratio_vs_binomial(480, 3) == pytest.approx(3.0)
+    assert affordable_rate_ratio_vs_binomial(480, 9) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        affordable_rate_ratio_vs_binomial(480, 0)
+
+
+def test_switch_benefit_bundle():
+    benefit = SwitchBenefit.assess(
+        q_capacity=512,
+        queue_length=100,
+        input_rate=5_000,
+        switch_delay_s=0.002,
+        new_rate=3_000,
+        old_rate=1_000,
+    )
+    assert benefit.loss_free
+    assert benefit.loss_free_margin_s > 0
+    assert benefit.breakeven_tuples == pytest.approx(3.0)
+
+
+def test_switch_benefit_no_rate_gain():
+    benefit = SwitchBenefit.assess(512, 100, 5_000, 0.002, 1_000, 3_000)
+    assert benefit.breakeven_tuples == 0.0

@@ -1,0 +1,178 @@
+"""Tests for dynamic switching (Section 3.4): Fig. 8 examples + invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multicast import (
+    SOURCE,
+    MulticastTree,
+    apply_plan,
+    build_nonblocking_tree,
+    plan_switch,
+)
+from repro.multicast.tree import TreeError
+
+
+def fig8_tree():
+    """The 8-destination tree used by both Fig. 8 examples (built with
+    d* = 3): S->(1,2,3); 1->(4,5); 2->6; 4->7; layers per Algorithm 1."""
+    return build_nonblocking_tree(list(range(1, 9)), d_star=3)
+
+
+# ----------------------------------------------------------------------
+# plan_switch basics
+# ----------------------------------------------------------------------
+def test_scale_down_fig8a_shape():
+    """Fig. 8a: d* 3 -> 2.  The child that pushed S over the cap is moved
+    to the first node with spare degree."""
+    tree = fig8_tree()
+    assert tree.out_degree(SOURCE) == 3
+    new_tree, plan = plan_switch(tree, new_d_star=2)
+    assert plan.status == "scale_down"
+    new_tree.validate(d_star=2)
+    # The marked instance is S's third-attached child.
+    moved = tree.children(SOURCE)[2]
+    assert any(op.node == moved and op.old_parent == SOURCE for op in plan.ops)
+    # Node set preserved.
+    assert sorted(new_tree.destinations()) == sorted(tree.destinations())
+
+
+def test_scale_up_reduces_depth():
+    """Fig. 8b: raising d* pulls deep instances toward S."""
+    tree = build_nonblocking_tree(list(range(1, 9)), d_star=2)
+    deep = tree.depth()
+    new_tree, plan = plan_switch(tree, new_d_star=3)
+    assert plan.status == "scale_up"
+    assert new_tree.depth() <= deep
+    assert plan.n_ops >= 1
+    new_tree.validate(d_star=3)
+    assert sorted(new_tree.destinations()) == sorted(tree.destinations())
+
+
+def test_noop_when_structure_already_fits():
+    tree = build_nonblocking_tree(list(range(1, 4)), d_star=3)
+    # All three instances already sit directly under S: no deeper layer to
+    # promote, nothing over the cap.
+    new_tree, plan = plan_switch(tree, new_d_star=3)
+    assert plan.status in ("noop", "scale_up")
+    if plan.status == "noop":
+        assert plan.n_ops == 0
+        assert plan.control_messages() == []
+
+
+def test_plan_switch_validation():
+    tree = fig8_tree()
+    with pytest.raises(ValueError):
+        plan_switch(tree, new_d_star=0)
+
+
+def test_plan_does_not_mutate_input():
+    tree = fig8_tree()
+    before = {n: tree.children(n) for n in tree.bfs()}
+    plan_switch(tree, new_d_star=1)
+    after = {n: tree.children(n) for n in tree.bfs()}
+    assert before == after
+
+
+def test_apply_plan_replays_ops():
+    tree = fig8_tree()
+    new_tree, plan = plan_switch(tree, new_d_star=2)
+    replay = tree.copy()
+    apply_plan(replay, plan)
+    for node in new_tree.bfs():
+        assert replay.children(node) == new_tree.children(node)
+
+
+def test_apply_plan_detects_stale_tree():
+    tree = fig8_tree()
+    _new, plan = plan_switch(tree, new_d_star=2)
+    stale = tree.copy()
+    if plan.ops:
+        op = plan.ops[0]
+        # Move the node somewhere else first: plan no longer applies.
+        stale.move(op.node, _other_parent(stale, op))
+        with pytest.raises(TreeError):
+            apply_plan(stale, plan)
+
+
+def _other_parent(tree, op):
+    subtree = set(tree.subtree_nodes(op.node))
+    for cand in tree.bfs():
+        if cand not in subtree and cand != op.old_parent:
+            return cand
+    raise AssertionError("no alternative parent in fixture")
+
+
+def test_control_messages_carry_status_and_ops():
+    tree = fig8_tree()
+    _new, plan = plan_switch(tree, new_d_star=2)
+    msgs = plan.control_messages()
+    assert len(msgs) == plan.n_ops
+    assert all(m.status == "scale_down" for m in msgs)
+
+
+def test_scale_down_to_one_gives_chain():
+    tree = fig8_tree()
+    new_tree, plan = plan_switch(tree, new_d_star=1)
+    new_tree.validate(d_star=1)
+    assert new_tree.max_out_degree() == 1
+    assert new_tree.depth() == 8  # a chain of all 8 destinations
+
+
+def test_scale_up_to_sequential_like():
+    chain, _ = plan_switch(fig8_tree(), new_d_star=1)
+    wide, plan = plan_switch(chain, new_d_star=100)
+    wide.validate(d_star=100)
+    # Everything that can move up did; depth collapses toward binomial.
+    assert wide.depth() < chain.depth()
+
+
+# ----------------------------------------------------------------------
+# property tests
+# ----------------------------------------------------------------------
+@given(
+    n=st.integers(min_value=1, max_value=120),
+    d_initial=st.integers(min_value=1, max_value=8),
+    d_new=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=150, deadline=None)
+def test_switch_preserves_nodes_and_satisfies_cap(n, d_initial, d_new):
+    tree = build_nonblocking_tree(list(range(n)), d_star=d_initial)
+    new_tree, plan = plan_switch(tree, new_d_star=d_new)
+    new_tree.validate(d_star=d_new)
+    assert sorted(new_tree.destinations()) == sorted(tree.destinations())
+    assert plan.status in ("scale_down", "scale_up", "noop")
+    # Re-application from the original tree reproduces the result.
+    replay = tree.copy()
+    apply_plan(replay, plan)
+    assert sorted(replay.destinations()) == sorted(tree.destinations())
+    replay.validate(d_star=d_new)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=120),
+    d_initial=st.integers(min_value=1, max_value=4),
+    d_new=st.integers(min_value=5, max_value=12),
+)
+@settings(max_examples=100, deadline=None)
+def test_scale_up_never_deepens(n, d_initial, d_new):
+    tree = build_nonblocking_tree(list(range(n)), d_star=d_initial)
+    new_tree, _plan = plan_switch(tree, new_d_star=d_new)
+    assert new_tree.depth() <= tree.depth()
+
+
+@given(
+    n=st.integers(min_value=2, max_value=120),
+    d_initial=st.integers(min_value=4, max_value=12),
+    d_new=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=100, deadline=None)
+def test_scale_down_incremental_not_rebuild(n, d_initial, d_new):
+    """Scale-down should move only what it must: every op's subtree root
+    was (transitively) attached beyond the new cap, and op count is well
+    below a full rebuild of n nodes whenever the cap change is small."""
+    tree = build_nonblocking_tree(list(range(n)), d_star=d_initial)
+    new_tree, plan = plan_switch(tree, new_d_star=d_new)
+    new_tree.validate(d_star=d_new)
+    assert plan.n_ops <= n  # never worse than touching every node

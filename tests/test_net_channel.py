@@ -1,0 +1,199 @@
+"""Tests for the channel-oriented communication framework
+(the paper's WhaleRDMAChannel artifact)."""
+
+import pytest
+
+from repro.net import Cluster, CostModel, CpuAccount, Fabric, RdmaTransport, TcpTransport
+from repro.net.channel import Channel, ChannelError, ChannelManager
+from repro.net.rdma import Verb
+from repro.sim import Simulator
+
+
+def make_pair(transport_kind="rdma", n_machines=3):
+    sim = Simulator()
+    costs = CostModel()
+    cluster = Cluster(n_machines, 1, 16)
+    if transport_kind == "rdma":
+        fabric = Fabric(
+            sim, cluster, costs.infiniband_bandwidth_bps,
+            costs.infiniband_latency_s, name="ib",
+        )
+        transport = RdmaTransport(sim, fabric, costs, data_verb=Verb.READ)
+    else:
+        fabric = Fabric(
+            sim, cluster, costs.ethernet_bandwidth_bps,
+            costs.ethernet_latency_s, name="eth",
+        )
+        transport = TcpTransport(sim, fabric, costs)
+    managers = [ChannelManager(sim, transport, m) for m in range(n_machines)]
+    return sim, managers
+
+
+@pytest.mark.parametrize("kind", ["rdma", "tcp"])
+def test_connect_send_receive(kind):
+    sim, (a, b, _c) = make_pair(kind)
+    received = []
+    b.on_accept(lambda ch: ch.on_receive(received.append))
+    cpu = CpuAccount(sim, "app")
+
+    def client(sim):
+        ch = yield from a.connect(1, cpu)
+        yield from ch.send({"hello": "world"}, 64, cpu)
+        yield from ch.send({"n": 2}, 64, cpu)
+
+    sim.process(client(sim))
+    sim.run()
+    assert received == [{"hello": "world"}, {"n": 2}]
+
+
+def test_connect_blocks_until_syn_ack():
+    sim, (a, b, _c) = make_pair()
+    times = []
+
+    def client(sim):
+        t0 = sim.now
+        ch = yield from a.connect(1)
+        times.append(sim.now - t0)
+        assert ch.is_open
+
+    sim.process(client(sim))
+    sim.run()
+    # At least one RTT of the InfiniBand fabric.
+    assert times[0] >= 2 * CostModel().infiniband_latency_s
+
+
+def test_channel_stats():
+    sim, (a, b, _c) = make_pair()
+    accepted = []
+    b.on_accept(lambda ch: (ch.on_receive(lambda m: None), accepted.append(ch)))
+    cpu = CpuAccount(sim, "app")
+
+    def client(sim):
+        ch = yield from a.connect(1, cpu)
+        yield from ch.send("x", 100, cpu)
+        yield from ch.send("y", 200, cpu)
+        return ch
+
+    p = sim.process(client(sim))
+    sim.run()
+    ch = p.value
+    assert ch.stats.messages_sent == 2
+    assert ch.stats.bytes_sent == 300
+    assert accepted[0].stats.messages_received == 2
+
+
+def test_close_propagates_to_peer():
+    sim, (a, b, _c) = make_pair()
+    b.on_accept(lambda ch: ch.on_receive(lambda m: None))
+    cpu = CpuAccount(sim, "app")
+
+    def client(sim):
+        ch = yield from a.connect(1, cpu)
+        yield from ch.close(cpu)
+        return ch
+
+    p = sim.process(client(sim))
+    sim.run()
+    ch = p.value
+    assert not ch.is_open
+    assert a.open_channels == 0
+    assert b.open_channels == 0
+
+
+def test_send_on_closed_channel_rejected():
+    sim, (a, b, _c) = make_pair()
+    cpu = CpuAccount(sim, "app")
+    failures = []
+
+    def client(sim):
+        ch = yield from a.connect(1, cpu)
+        yield from ch.close(cpu)
+        try:
+            yield from ch.send("late", 10, cpu)
+        except ChannelError:
+            failures.append(True)
+
+    sim.process(client(sim))
+    sim.run()
+    assert failures == [True]
+
+
+def test_invalid_size_rejected():
+    sim, (a, b, _c) = make_pair()
+    cpu = CpuAccount(sim, "app")
+    failures = []
+
+    def client(sim):
+        ch = yield from a.connect(1, cpu)
+        try:
+            yield from ch.send("zero", 0, cpu)
+        except ChannelError:
+            failures.append(True)
+
+    sim.process(client(sim))
+    sim.run()
+    assert failures == [True]
+
+
+def test_many_channels_multiplex_one_inbox():
+    sim, (a, b, c) = make_pair()
+    received_b, received_c = [], []
+    b.on_accept(lambda ch: ch.on_receive(received_b.append))
+    c.on_accept(lambda ch: ch.on_receive(received_c.append))
+    cpu = CpuAccount(sim, "app")
+
+    def client(sim):
+        ch_b1 = yield from a.connect(1, cpu)
+        ch_b2 = yield from a.connect(1, cpu)
+        ch_c = yield from a.connect(2, cpu)
+        yield from ch_b1.send("b1", 10, cpu)
+        yield from ch_b2.send("b2", 10, cpu)
+        yield from ch_c.send("c", 10, cpu)
+        yield from ch_b1.send("b1-again", 10, cpu)
+
+    sim.process(client(sim))
+    sim.run()
+    assert received_b == ["b1", "b2", "b1-again"]
+    assert received_c == ["c"]
+    assert a.open_channels == 3
+    assert b.open_channels == 2
+
+
+def test_bidirectional_traffic():
+    sim, (a, b, _c) = make_pair()
+    cpu = CpuAccount(sim, "app")
+    at_a, at_b = [], []
+
+    def echo(ch):
+        def handler(msg):
+            at_b.append(msg)
+            sim.process(_reply(ch, msg))
+
+        ch.on_receive(handler)
+
+    def _reply(ch, msg):
+        yield from ch.send(f"echo:{msg}", 32, cpu)
+
+    b.on_accept(echo)
+
+    def client(sim):
+        ch = yield from a.connect(1, cpu)
+        ch.on_receive(at_a.append)
+        yield from ch.send("ping", 32, cpu)
+
+    sim.process(client(sim))
+    sim.run()
+    assert at_b == ["ping"]
+    assert at_a == ["echo:ping"]
+
+
+def test_foreign_traffic_on_channel_inbox_raises():
+    sim, (a, b, _c) = make_pair()
+    cpu = CpuAccount(sim, "app")
+
+    def rogue(sim):
+        yield from a.transport.send(0, 1, "raw-bytes", 10, cpu)
+
+    sim.process(rogue(sim))
+    with pytest.raises(ChannelError):
+        sim.run()
