@@ -2,7 +2,10 @@
 and compare against Apache Storm's instance-oriented communication.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --trace /tmp/quickstart.jsonl
 """
+
+import argparse
 
 import numpy as np
 
@@ -54,14 +57,30 @@ def build_topology() -> Topology:
     return topo
 
 
-def measure(config):
+def measure(config, trace_path=None):
+    tracer = None
+    if trace_path is not None:
+        from repro.trace import JsonlTracer, run_manifest
+
+        tracer = JsonlTracer(
+            trace_path,
+            manifest=run_manifest(
+                config=config, seed=1, app="quickstart",
+                parallelism=PARALLELISM, offered_rate=RATE,
+            ),
+        )
     system = create_system(
         build_topology(),
         config,
         cluster=Cluster(MACHINES, 1, 16),
         arrivals={"sensors": PoissonArrivals(RATE, np.random.default_rng(1))},
+        tracer=tracer,
     )
-    metrics = system.run_measured(warmup_s=0.3, measure_s=1.0)
+    try:
+        metrics = system.run_measured(warmup_s=0.3, measure_s=1.0)
+    finally:
+        if tracer is not None:
+            tracer.close()
     source = system.source_executor("sensors")
     return {
         "throughput": metrics.completion.completed / metrics.window_duration,
@@ -73,10 +92,18 @@ def measure(config):
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a JSONL trace of the Whale run to PATH "
+        "(inspect with: python -m repro.trace PATH)",
+    )
+    args = parser.parse_args()
     print(f"broadcasting {RATE:.0f} tuples/s to {PARALLELISM} instances "
           f"on {MACHINES} machines\n")
     for config in (storm_config(), whale_full_config()):
-        r = measure(config)
+        trace = args.trace if config.name == "whale" else None
+        r = measure(config, trace_path=trace)
         print(f"[{config.name}]")
         print(f"  throughput          {r['throughput']:10.0f} tuples/s")
         print(f"  processing latency  {r['latency_ms']:10.2f} ms (p50)")
@@ -87,6 +114,9 @@ def main():
     print("Storm serializes and transmits the tuple once per destination")
     print("instance; Whale serializes once per worker and relays through")
     print("its self-adjusting non-blocking multicast tree.")
+    if args.trace:
+        print(f"\ntrace written to {args.trace}; summarize it with:")
+        print(f"  python -m repro.trace {args.trace}")
 
 
 if __name__ == "__main__":

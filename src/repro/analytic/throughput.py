@@ -9,12 +9,11 @@ tuple), and the spout's own emit capacity.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.dsps.config import SystemConfig
 from repro.multicast.model import binomial_out_degree
-from repro.net.rdma import Verb, VerbProfile
+from repro.net.rdma import VerbProfile
 from repro.net.serialization import SerializationModel
 
 

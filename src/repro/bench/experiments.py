@@ -20,12 +20,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.bench.report import Series, Table
-from repro.bench.runner import (
-    AppRun,
-    downstream_service_estimate,
-    run_app,
-    sweep_offered_rate,
-)
+from repro.bench.runner import AppRun, run_app
 from repro.core import (
     create_system,
     whale_diffverbs_config,

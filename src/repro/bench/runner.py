@@ -88,6 +88,8 @@ class AppRun:
     serialization_cpu_s: float
     #: transfer-queue load factor: max observed length / capacity Q
     source_queue_load: float = 0.0
+    #: path of the JSONL trace captured for this point (``--trace``)
+    trace_path: Optional[str] = None
     #: kept for experiments that need deeper inspection
     system: Optional[DspsSystem] = field(default=None, repr=False)
 
@@ -112,8 +114,14 @@ def run_app(
     seed: int = 42,
     keep_system: bool = False,
     fabric_options: Optional[Dict] = None,
+    trace_path: Optional[str] = None,
 ) -> AppRun:
-    """Measure one (app, variant, parallelism) point."""
+    """Measure one (app, variant, parallelism) point.
+
+    ``trace_path`` streams a structured JSONL trace of the run (with a
+    manifest carrying config/seed/git rev) to that file; summarize it
+    with ``python -m repro.trace PATH``.
+    """
     if app == "ridehailing":
         topology = ride_hailing_topology(
             parallelism, n_drivers=N_DRIVERS, compute_real_matches=False
@@ -145,36 +153,59 @@ def run_app(
     for name, rate in side_streams.items():
         arrivals[name] = PoissonArrivals(min(rate, offered_rate), rng)
 
-    system = create_system(
-        topology,
-        config,
-        cluster=Cluster(n_machines, n_racks, 16),
-        arrivals=arrivals,
-        seed=seed,
-        fabric_options=fabric_options,
-    )
-    measure_s = min(2.0, max(0.1, tuple_budget / offered_rate))
-    warmup_s = min(0.5, max(0.05, 0.3 * measure_s))
-    # Reset traffic counters after warmup by snapshotting.
-    system.start()
-    system.sim.run(until=warmup_s)
-    data0 = system.traffic_bytes("data")
-    ctrl0 = system.traffic_bytes("control")
-    src = system.source_executor(broadcast_spout) if app == "ridehailing" else None
-    source_ex = (
-        src
-        if src is not None
-        else system.operator_executors("split")[0]  # stocks: split is the source
-    )
-    source_ex.cpu.reset()
-    downstream = system.operator_executors("matching")
-    for ex in downstream:
-        ex.cpu.reset()
-    window_start = system.sim.now
-    system.metrics.open_window()
-    system.sim.run(until=warmup_s + measure_s)
-    system.metrics.close_window()
-    metrics = system.metrics
+    tracer = None
+    if trace_path is not None:
+        from repro.trace import JsonlTracer, run_manifest
+
+        tracer = JsonlTracer(
+            trace_path,
+            manifest=run_manifest(
+                config=config,
+                seed=seed,
+                app=app,
+                parallelism=parallelism,
+                offered_rate=offered_rate,
+            ),
+        )
+    try:
+        system = create_system(
+            topology,
+            config,
+            cluster=Cluster(n_machines, n_racks, 16),
+            arrivals=arrivals,
+            seed=seed,
+            fabric_options=fabric_options,
+            tracer=tracer,
+        )
+        measure_s = min(2.0, max(0.1, tuple_budget / offered_rate))
+        warmup_s = min(0.5, max(0.05, 0.3 * measure_s))
+        # Reset traffic counters after warmup by snapshotting.
+        system.start()
+        system.sim.run(until=warmup_s)
+        data0 = system.traffic_bytes("data")
+        ctrl0 = system.traffic_bytes("control")
+        src = (
+            system.source_executor(broadcast_spout)
+            if app == "ridehailing"
+            else None
+        )
+        source_ex = (
+            src
+            if src is not None
+            else system.operator_executors("split")[0]  # stocks: split is the source
+        )
+        source_ex.cpu.reset()
+        downstream = system.operator_executors("matching")
+        for ex in downstream:
+            ex.cpu.reset()
+        window_start = system.sim.now
+        system.metrics.open_window()
+        system.sim.run(until=warmup_s + measure_s)
+        system.metrics.close_window()
+        metrics = system.metrics
+    finally:
+        if tracer is not None:
+            tracer.close()
 
     completion = metrics.completion.summary()
     multicast = metrics.multicast.summary()
@@ -211,6 +242,7 @@ def run_app(
             source_ex.transfer_queue.stats().max_length
             / config.transfer_queue_capacity
         ),
+        trace_path=trace_path,
         system=system if keep_system else None,
     )
     return run
@@ -228,3 +260,90 @@ def sweep_offered_rate(
         run_app(app, config, parallelism, offered_rate=rate, **kwargs)
         for rate in rates
     ]
+
+
+# ----------------------------------------------------------------------
+# CLI: run one point, optionally capturing a JSONL trace
+# ----------------------------------------------------------------------
+def _variant_factories():
+    from repro.core.whale import (
+        whale_diffverbs_config,
+        whale_full_config,
+        whale_woc_config,
+        whale_woc_rdma_config,
+    )
+    from repro.dsps.presets import rdma_storm_config, rdmc_config, storm_config
+
+    return {
+        "storm": storm_config,
+        "rdma-storm": rdma_storm_config,
+        "rdmc": rdmc_config,
+        "whale-woc": whale_woc_config,
+        "whale-woc-rdma": whale_woc_rdma_config,
+        "whale": whale_full_config,
+        "whale-diffverbs": whale_diffverbs_config,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.bench.runner`` — measure one point from the shell.
+
+    With ``--trace PATH`` the run streams a JSONL trace that
+    ``python -m repro.trace PATH`` summarizes and
+    :func:`repro.trace.replay` re-derives the figures from.
+    """
+    import argparse
+
+    variants = _variant_factories()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.runner",
+        description="Measure one (app, variant, parallelism) point.",
+    )
+    parser.add_argument(
+        "--app", choices=("ridehailing", "stocks"), default="ridehailing"
+    )
+    parser.add_argument(
+        "--variant", choices=sorted(variants), default="whale"
+    )
+    parser.add_argument("--parallelism", type=int, default=8)
+    parser.add_argument("--machines", type=int, default=30)
+    parser.add_argument(
+        "--rate", type=float, default=None, help="offered rate (tuples/s); "
+        "defaults to the analytic sustainable rate x 1.1"
+    )
+    parser.add_argument("--tuples", type=int, default=DEFAULT_TUPLE_BUDGET)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSONL run trace to PATH"
+    )
+    args = parser.parse_args(argv)
+
+    run = run_app(
+        args.app,
+        variants[args.variant](),
+        args.parallelism,
+        n_machines=args.machines,
+        offered_rate=args.rate,
+        tuple_budget=args.tuples,
+        seed=args.seed,
+        trace_path=args.trace,
+    )
+    print(f"{run.app} / {run.variant} / k={run.parallelism}")
+    print(f"  offered rate       {run.offered_rate:12.1f} tuples/s")
+    print(f"  throughput         {run.throughput:12.1f} tuples/s")
+    print(f"  processing latency p50={run.processing_latency.p50 * 1e3:.3f} ms"
+          f"  p99={run.processing_latency.p99 * 1e3:.3f} ms")
+    print(f"  multicast latency  p50={run.multicast_latency.p50 * 1e3:.3f} ms"
+          f"  p99={run.multicast_latency.p99 * 1e3:.3f} ms")
+    print(f"  drops              {run.drops:12d}")
+    print(f"  wire traffic       {run.data_bytes:12d} B data"
+          f" / {run.control_bytes} B control")
+    if args.trace:
+        print(f"  trace              {args.trace}"
+              f"  (summarize: python -m repro.trace {args.trace})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

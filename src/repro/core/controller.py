@@ -21,7 +21,7 @@ report switching delay and frequency (Figs. 23/24).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List
 
 from repro.core.monitor import QueueMonitor, StreamMonitor
 from repro.multicast import (
@@ -97,10 +97,31 @@ class MulticastController:
                 self.source.emitted, cfg.monitor_interval_s
             )
             decision = self.queue_monitor.sample()
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "monitor.sample",
+                    self.sim.now,
+                    src_task=self.service.src_task,
+                    lam=lam,
+                    action=decision.action,
+                    queue_len=decision.queue_length,
+                    delta=decision.delta,
+                )
             te = self.source.te_estimate
             if te is None or lam <= 0 or decision.action == "hold":
                 continue
             target = self._target_d_star(lam, te)
+            if tracer is not None:
+                tracer.emit(
+                    "controller.dstar",
+                    self.sim.now,
+                    src_task=self.service.src_task,
+                    lam=lam,
+                    te=te,
+                    target=target,
+                    current=self.service.d_star,
+                )
             if decision.action == "scale_down" and target < self.service.d_star:
                 yield from self._switch("scale_down", target)
             elif decision.action == "scale_up" and target > self.service.d_star:
@@ -119,8 +140,19 @@ class MulticastController:
         old_d_star = service.d_star
         resume = self.sim.event()
         service.paused_until = resume
+        tracer = self.sim.tracer
         try:
             new_tree, plan = plan_switch(service.tree, new_d_star)
+            if tracer is not None:
+                tracer.emit(
+                    "switch.begin",
+                    self.sim.now,
+                    src_task=service.src_task,
+                    direction=direction,
+                    old_d_star=old_d_star,
+                    new_d_star=new_d_star,
+                    n_ops=plan.n_ops,
+                )
             # StatusMessage to every endpoint (multicast over the control
             # plane; one message per endpoint machine).
             status = StatusMessage(direction=direction, new_d_star=new_d_star)
@@ -148,9 +180,31 @@ class MulticastController:
             yield self.sim.timeout(self.config.switch_delay_s)
             service.apply_tree(new_tree)
             service.d_star = new_d_star
+            if tracer is not None:
+                # Audit log: every applied RewireOp, stamped at the
+                # instant the rewired tree is installed.
+                for op in plan.ops:
+                    tracer.emit(
+                        "switch.rewire",
+                        self.sim.now,
+                        src_task=service.src_task,
+                        direction=direction,
+                        node=op.node,
+                        old_parent=op.old_parent,
+                        new_parent=op.new_parent,
+                    )
         finally:
             service.paused_until = None
             resume.succeed()
+        if tracer is not None:
+            tracer.emit(
+                "switch.end",
+                self.sim.now,
+                src_task=service.src_task,
+                direction=direction,
+                new_d_star=new_d_star,
+                duration_s=self.sim.now - start,
+            )
         self.history.append(
             SwitchRecord(
                 time=start,

@@ -35,13 +35,19 @@ class StreamMonitor:
         if interval_s <= 0:
             raise ValueError(f"interval must be positive, got {interval_s}")
         if self._last_count is None:
+            # No interval measured yet: lambda is unknown, not zero.
             self._last_count = cumulative_count
-            self._rate = 0.0
             return 0.0
         n_t = (cumulative_count - self._last_count) / interval_s
         self._last_count = cumulative_count
-        assert self._rate is not None
-        self._rate = self.alpha * self._rate + (1.0 - self.alpha) * n_t
+        if self._rate is None:
+            # Seed the EWMA with the first measured interval.  Seeding
+            # with 0.0 would under-report lambda for ~1/(1-alpha)
+            # intervals after start (cold-start bias), delaying the
+            # controller's first d* decision.
+            self._rate = n_t
+        else:
+            self._rate = self.alpha * self._rate + (1.0 - self.alpha) * n_t
         return self._rate
 
     @property
@@ -98,7 +104,10 @@ class QueueMonitor:
             if delta / (self.l_w - l) >= self.t_down:
                 return QueueDecision("scale_down", l, delta)
         elif delta < 0:
-            if prev > 0 and (-delta) / prev >= self.t_up:
+            # Suppress scale-up while the queue still sits at/above the
+            # warning waterline: a fast drain right after a scale-down
+            # would otherwise immediately re-raise d* and flap.
+            if l < self.l_w and prev > 0 and (-delta) / prev >= self.t_up:
                 return QueueDecision("scale_up", l, delta)
         elif l == 0 and prev == 0:
             return QueueDecision("scale_up", l, 0)

@@ -100,11 +100,13 @@ def create_system(
     arrivals: Optional[Dict[str, ArrivalFn]] = None,
     seed: int = 0,
     fabric_options: Optional[Dict] = None,
+    tracer=None,
 ) -> DspsSystem:
     """Build a system; attach and start controllers for adaptive configs.
 
     Controllers are exposed as ``system.controllers`` (empty for
-    non-adaptive variants).
+    non-adaptive variants).  ``tracer`` (a :class:`~repro.trace.Tracer`)
+    enables structured run tracing.
     """
     system = DspsSystem(
         topology,
@@ -113,6 +115,7 @@ def create_system(
         arrivals=arrivals,
         seed=seed,
         fabric_options=fabric_options,
+        tracer=tracer,
     )
     controllers: List[MulticastController] = []
     if config.adaptive and config.multicast == "nonblocking":

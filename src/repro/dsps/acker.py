@@ -17,7 +17,7 @@ than the metrics trackers.  Timeouts mark trees failed for replay
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np

@@ -24,7 +24,7 @@ as a single work request.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -250,6 +250,22 @@ class CommEngine:
         # (src executor id, dst machine) -> slicer, when slicing is on.
         self._slicers: Dict[Tuple[int, int], StreamSlicer] = {}
 
+    def _trace_serialize(
+        self, src_machine: int, dst_machine: int, nbytes: int,
+        cpu_s: float, n_messages: int = 1,
+    ) -> None:
+        tracer = self.system.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "net.serialize",
+                self.system.sim.now,
+                src=src_machine,
+                dst=dst_machine,
+                bytes=nbytes,
+                cpu_s=cpu_s,
+                n_messages=n_messages,
+            )
+
     # ------------------------------------------------------------------
     # top-level send (called by the executor's send thread)
     # ------------------------------------------------------------------
@@ -292,6 +308,7 @@ class CommEngine:
             msg_bytes = self.ser.instance_message_bytes(env.tuple.payload_bytes)
             serialize_cpu = n * self.costs.serialize_time(msg_bytes)
             yield from executor.cpu.work(serialize_cpu, cats.SERIALIZATION)
+            self._trace_serialize(src_machine, machine, n * msg_bytes, serialize_cpu, n)
             packet = InstancePacket(
                 tuples=[AddressedTuple(t, env.tuple) for t in tasks],
                 deserialize_cpu_s=n * self.costs.deserialize_time(msg_bytes),
@@ -347,10 +364,11 @@ class CommEngine:
         """Serialize (optionally) and transmit one BatchTuple."""
         msg_bytes = self.ser.batch_message_bytes(tup.payload_bytes, len(tasks))
         if serialize:
-            yield from cpu_account.work(
-                self.ser.serialize_batch_message(tup.payload_bytes, len(tasks)),
-                cats.SERIALIZATION,
+            serialize_cpu = self.ser.serialize_batch_message(
+                tup.payload_bytes, len(tasks)
             )
+            yield from cpu_account.work(serialize_cpu, cats.SERIALIZATION)
+            self._trace_serialize(src_machine, dst_machine, msg_bytes, serialize_cpu)
         packet = WorkerPacket(
             tuple=tup,
             dst_tasks=list(tasks),
@@ -386,8 +404,10 @@ class CommEngine:
             # message; serialization per message when not relaying.
             msg_bytes = self.ser.instance_message_bytes(tup.payload_bytes)
             if serialize:
-                yield from cpu_account.work(
-                    self.costs.serialize_time(msg_bytes), cats.SERIALIZATION
+                serialize_cpu = self.costs.serialize_time(msg_bytes)
+                yield from cpu_account.work(serialize_cpu, cats.SERIALIZATION)
+                self._trace_serialize(
+                    src_machine, dst_machine, msg_bytes, serialize_cpu
                 )
             packet = WorkerPacket(
                 tuple=tup,

@@ -17,7 +17,7 @@ emission loop.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.dsps.api import Bolt, Spout, TupleContext
 from repro.dsps.comm import Envelope
@@ -68,7 +68,9 @@ class ExecutorBase:
         self.spec = spec
         self.cpu = CpuAccount(self.sim, f"{self.operator}[{task_id}]")
         self.transfer_queue = TransferQueue(
-            self.sim, capacity=system.config.transfer_queue_capacity
+            self.sim,
+            capacity=system.config.transfer_queue_capacity,
+            name=f"{self.operator}[{task_id}].transfer",
         )
         self.collector = _EmitCollector(self)
         # Per-emitter grouping instances (shuffle keeps per-emitter state).
@@ -127,6 +129,16 @@ class ExecutorBase:
         metrics = self.system.metrics
         metrics.on_emit(self.operator)
         self.emitted += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "tuple.emit",
+                self.sim.now,
+                id=tup.tuple_id,
+                root=tup.root_id,
+                operator=self.operator,
+                task=self.task_id,
+            )
         for dst_operator, (grouping, tasks) in self._groupings.items():
             dst_tasks = grouping.choose(tup, tasks)
             env = Envelope(
@@ -136,14 +148,31 @@ class ExecutorBase:
                 one_to_many=grouping.one_to_many,
             )
             if grouping.one_to_many and metrics.in_window:
-                metrics.multicast.register(tup.tuple_id, len(dst_tasks), self.sim.now)
-                metrics.completion.register(tup.tuple_id, len(dst_tasks), tup.created_at)
+                metrics.multicast.register(tup.tuple_id, dst_tasks, self.sim.now)
+                metrics.completion.register(tup.tuple_id, dst_tasks, tup.created_at)
+                if tracer is not None:
+                    tracer.emit(
+                        "mc.register",
+                        self.sim.now,
+                        id=tup.tuple_id,
+                        operator=dst_operator,
+                        dsts=list(dst_tasks),
+                        created_at=tup.created_at,
+                    )
             if not self.transfer_queue.try_put(env):
                 # Transfer queue overflow: stream input loss (Def. 4).
                 metrics.on_drop(f"{self.operator}.transfer_queue")
                 if grouping.one_to_many:
                     metrics.multicast.cancel(tup.tuple_id)
                     metrics.completion.cancel(tup.tuple_id)
+                if tracer is not None:
+                    tracer.emit(
+                        "tuple.drop",
+                        self.sim.now,
+                        id=tup.tuple_id,
+                        operator=self.operator,
+                        where=f"{self.operator}.transfer_queue",
+                    )
 
     # ------------------------------------------------------------------
     # sending thread
@@ -202,7 +231,17 @@ class BoltExecutor(ExecutorBase):
             self.bolt.execute(tup, self.collector)
             self.processed += 1
             metrics.on_processed(self.operator)
-            metrics.completion.on_executed(tup.tuple_id)
+            metrics.completion.on_executed(tup.tuple_id, self.task_id)
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "tuple.execute",
+                    self.sim.now,
+                    id=tup.tuple_id,
+                    root=tup.root_id,
+                    operator=self.operator,
+                    task=self.task_id,
+                )
             if self.spec.terminal:
                 metrics.on_sink_latency(
                     self.operator, self.sim.now - tup.created_at

@@ -23,8 +23,8 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -59,31 +59,46 @@ class LatencySummary:
 
 
 class MulticastTracker:
-    """Tracks per-tuple multicast completion (last destination receives)."""
+    """Tracks per-tuple multicast completion (last destination receives).
+
+    Pending state is the *set* of destination task ids still owed a copy,
+    so a duplicated/retransmitted delivery to the same destination cannot
+    decrement twice (which would complete the tuple early and record a
+    too-short latency).
+    """
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self._pending: Dict[int, Tuple[float, int]] = {}
+        self._pending: Dict[int, Tuple[float, set]] = {}
         self.latencies: List[float] = []
         self.completed = 0
 
-    def register(self, tuple_id: int, n_destinations: int, emit_time: float) -> None:
-        if n_destinations < 1:
-            raise ValueError(f"n_destinations must be >= 1, got {n_destinations}")
-        self._pending[tuple_id] = (emit_time, n_destinations)
+    def register(
+        self, tuple_id: int, destinations: Iterable[int], emit_time: float
+    ) -> None:
+        destinations = set(destinations)
+        if not destinations:
+            raise ValueError("destinations must be non-empty")
+        entry = self._pending.get(tuple_id)
+        if entry is None:
+            self._pending[tuple_id] = (emit_time, destinations)
+        else:
+            # A second one-to-many edge of the same emit: the tuple now
+            # completes when the union of destinations has received it.
+            entry[1].update(destinations)
 
-    def on_receive(self, tuple_id: int) -> None:
+    def on_receive(self, tuple_id: int, destination: int) -> None:
         entry = self._pending.get(tuple_id)
         if entry is None:
             return  # not a tracked tuple (e.g. emitted outside the window)
-        emit_time, remaining = entry
-        remaining -= 1
-        if remaining == 0:
+        emit_time, outstanding = entry
+        if destination not in outstanding:
+            return  # duplicate delivery (retransmission): already counted
+        outstanding.discard(destination)
+        if not outstanding:
             del self._pending[tuple_id]
             self.latencies.append(self.sim.now - emit_time)
             self.completed += 1
-        else:
-            self._pending[tuple_id] = (emit_time, remaining)
 
     def cancel(self, tuple_id: int) -> None:
         """Forget a tuple (it was dropped before reaching the wire)."""
@@ -99,29 +114,43 @@ class MulticastTracker:
 
 class CompletionTracker:
     """Tracks processing completion of one-to-many tuples: a root tuple is
-    complete when all ``n`` destination instances executed it."""
+    complete when every destination instance executed it.
+
+    Like :class:`MulticastTracker`, pending state is the set of executor
+    task ids still owed an execution, so duplicate executions of the same
+    tuple at the same instance are counted once.
+    """
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self._pending: Dict[int, Tuple[float, int]] = {}
+        self._pending: Dict[int, Tuple[float, set]] = {}
         self.latencies: List[float] = []
         self.completed = 0
 
-    def register(self, root_id: int, n_executions: int, created_at: float) -> None:
-        self._pending[root_id] = (created_at, n_executions)
+    def register(
+        self, root_id: int, destinations: Iterable[int], created_at: float
+    ) -> None:
+        destinations = set(destinations)
+        if not destinations:
+            raise ValueError("destinations must be non-empty")
+        entry = self._pending.get(root_id)
+        if entry is None:
+            self._pending[root_id] = (created_at, destinations)
+        else:
+            entry[1].update(destinations)
 
-    def on_executed(self, root_id: int) -> None:
+    def on_executed(self, root_id: int, destination: int) -> None:
         entry = self._pending.get(root_id)
         if entry is None:
             return
-        created_at, remaining = entry
-        remaining -= 1
-        if remaining == 0:
+        created_at, outstanding = entry
+        if destination not in outstanding:
+            return  # duplicate execution at this instance
+        outstanding.discard(destination)
+        if not outstanding:
             del self._pending[root_id]
             self.latencies.append(self.sim.now - created_at)
             self.completed += 1
-        else:
-            self._pending[root_id] = (created_at, remaining)
 
     def cancel(self, root_id: int) -> None:
         """Forget a root tuple (it was dropped before reaching the wire)."""
@@ -153,12 +182,18 @@ class MetricsHub:
     # ------------------------------------------------------------------
     def open_window(self) -> None:
         self._window = (self.sim.now, None)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit("metrics.window", self.sim.now, action="open")
 
     def close_window(self) -> None:
         if self._window is None:
             raise RuntimeError("close_window() before open_window()")
         start, _ = self._window
         self._window = (start, self.sim.now)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit("metrics.window", self.sim.now, action="close")
 
     @property
     def in_window(self) -> bool:
@@ -197,11 +232,14 @@ class MetricsHub:
     # reporting
     # ------------------------------------------------------------------
     def throughput(self, operator: str) -> float:
-        """Tuples processed per second inside the window."""
-        return self.processed[operator] / self.window_duration
+        """Tuples processed per second inside the window (0.0 for a
+        zero-duration window rather than a ``ZeroDivisionError``)."""
+        duration = self.window_duration
+        return self.processed[operator] / duration if duration > 0 else 0.0
 
     def emit_rate(self, operator: str) -> float:
-        return self.emitted[operator] / self.window_duration
+        duration = self.window_duration
+        return self.emitted[operator] / duration if duration > 0 else 0.0
 
     def sink_latency_summary(self, operator: str) -> LatencySummary:
         return LatencySummary.from_samples(self.sink_latencies[operator])

@@ -13,7 +13,7 @@ restricted to the window.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.dsps.comm import CommEngine, MulticastService
 from repro.dsps.config import SystemConfig
@@ -24,7 +24,6 @@ from repro.dsps.topology import Topology
 from repro.dsps.worker import Worker
 from repro.net.cluster import Cluster
 from repro.net.fabric import Fabric
-from repro.net.message import WireMessage
 from repro.net.rdma import RdmaTransport
 from repro.net.serialization import SerializationModel
 from repro.net.tcp import TcpTransport
@@ -46,16 +45,20 @@ class DspsSystem:
         arrivals: Optional[Dict[str, ArrivalFn]] = None,
         seed: int = 0,
         fabric_options: Optional[Dict] = None,
+        tracer=None,
     ):
         """``fabric_options`` are forwarded to :class:`~repro.net.fabric.
         Fabric` (fault injection: ``loss_probability``; oversubscription:
-        ``rack_uplink_bandwidth_bps``)."""
+        ``rack_uplink_bandwidth_bps``).  ``tracer`` is an optional
+        :class:`~repro.trace.Tracer` attached to the simulator; with none
+        attached every trace hook is a single attribute check."""
         fabric_options = fabric_options or {}
         self.topology = topology
         self.config = config
         self.costs = config.costs
         self.cluster = cluster if cluster is not None else Cluster(30, 1, 16)
         self.sim = Simulator()
+        self.sim.tracer = tracer
         self.rng = RngRegistry(seed)
         self.serialization = SerializationModel(self.costs)
         self.metrics = MetricsHub(self.sim)
@@ -142,6 +145,11 @@ class DspsSystem:
                 if not isinstance(ex, SpoutExecutor):
                     raise TypeError(f"{name!r} is not a spout")
                 ex.set_arrival_process(gap_fn)
+
+    @property
+    def tracer(self):
+        """The tracer attached to this system's simulator (or ``None``)."""
+        return self.sim.tracer
 
     def multicast_service(
         self, src_task: int, dst_operator: str

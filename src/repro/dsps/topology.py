@@ -14,7 +14,7 @@ operator instance (Storm's ``newInstance`` semantics in Algorithm 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.dsps.api import Bolt, Spout
 from repro.dsps.grouping import Grouping

@@ -50,7 +50,16 @@ class Worker:
             )
         self.cpu.charge(self.system.costs.dispatch_cpu_s, cats.DISPATCH)
         self.dispatched += 1
-        self.system.metrics.multicast.on_receive(at.tuple.tuple_id)
+        self.system.metrics.multicast.on_receive(at.tuple.tuple_id, at.task_id)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "worker.dispatch",
+                self.sim.now,
+                id=at.tuple.tuple_id,
+                task=at.task_id,
+                machine=self.machine_id,
+            )
         executor.accept(at)
 
     # ------------------------------------------------------------------

@@ -13,8 +13,7 @@ and the analytics are structure-agnostic.
 
 from __future__ import annotations
 
-import math
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 from repro.multicast.model import binomial_out_degree
 from repro.multicast.tree import SOURCE, MulticastTree, Node

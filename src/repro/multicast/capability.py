@@ -13,7 +13,6 @@ Two complementary views:
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List
 
 from repro.multicast.model import binomial_out_degree

@@ -86,8 +86,18 @@ def plan_switch(tree: MulticastTree, new_d_star: int) -> Tuple[MulticastTree, Sw
     return work, SwitchPlan(status=status, d_star=new_d_star, ops=ops)  # type: ignore[arg-type]
 
 
-def apply_plan(tree: MulticastTree, plan: SwitchPlan) -> None:
-    """Apply a plan's operations to ``tree`` in place."""
+def apply_plan(
+    tree: MulticastTree,
+    plan: SwitchPlan,
+    tracer=None,
+    now: float = 0.0,
+) -> None:
+    """Apply a plan's operations to ``tree`` in place.
+
+    When a :class:`~repro.trace.Tracer` is given, every applied
+    :class:`RewireOp` is recorded as a ``switch.rewire`` event stamped
+    ``now`` (callers pass the simulated apply time).
+    """
     for op in plan.ops:
         if tree.parent(op.node) != op.old_parent:
             raise TreeError(
@@ -95,6 +105,15 @@ def apply_plan(tree: MulticastTree, plan: SwitchPlan) -> None:
                 f"{tree.parent(op.node)!r}"
             )
         tree.move(op.node, op.new_parent)
+        if tracer is not None:
+            tracer.emit(
+                "switch.rewire",
+                now,
+                direction=plan.status,
+                node=op.node,
+                old_parent=op.old_parent,
+                new_parent=op.new_parent,
+            )
 
 
 # ----------------------------------------------------------------------

@@ -9,7 +9,7 @@ logical layer per Algorithm 1's layered construction.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterator, List, Optional
+from typing import Dict, Hashable, Iterator, List, Optional
 
 Node = Hashable
 

@@ -23,7 +23,7 @@ downstream users.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, Optional
 
 from repro.net.cpu import CpuAccount
@@ -90,6 +90,16 @@ class Channel:
             raise ChannelError(f"message size must be positive, got {nbytes}")
         self.stats.messages_sent += 1
         self.stats.bytes_sent += nbytes
+        tracer = self.manager.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "chan.send",
+                self.manager.sim.now,
+                channel=self.channel_id,
+                src=self.manager.machine_id,
+                dst=self.peer_machine,
+                bytes=nbytes,
+            )
         frame = _Frame(
             channel_id=self.channel_id,
             kind="data",
@@ -115,6 +125,16 @@ class Channel:
     def _deliver(self, frame: _Frame, nbytes_hint: int = 0) -> None:
         self.stats.messages_received += 1
         self.stats.bytes_received += nbytes_hint
+        tracer = self.manager.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "chan.deliver",
+                self.manager.sim.now,
+                channel=self.channel_id,
+                src=frame.src_machine,
+                dst=self.manager.machine_id,
+                bytes=nbytes_hint,
+            )
         if self._receive_handler is not None:
             self._receive_handler(frame.body)
 

@@ -6,7 +6,7 @@ Figs. 33/34) without pretending to be it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 

@@ -181,6 +181,16 @@ class Fabric:
             # sender's NIC already spent the transmission — as on a real
             # lossy link).
             self.messages_lost += 1
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "net.lost",
+                    self.sim.now,
+                    fabric=self.name,
+                    src=msg.src_machine,
+                    dst=msg.dst_machine,
+                    bytes=msg.size_bytes,
+                )
             if msg.on_delivered is not None:
                 # Ring regions must still be recycled: the sender-side
                 # buffer was consumed regardless of delivery.
@@ -204,6 +214,17 @@ class Fabric:
     def _deliver(self, msg: WireMessage) -> None:
         self.bytes_by_kind[msg.kind] += msg.size_bytes
         self.messages_delivered += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "net.deliver",
+                self.sim.now,
+                fabric=self.name,
+                src=msg.src_machine,
+                dst=msg.dst_machine,
+                msg_kind=msg.kind,
+                bytes=msg.size_bytes,
+            )
         if msg.on_delivered is not None:
             msg.on_delivered(msg)
         receiver = self._receivers.get(msg.dst_machine)

@@ -151,6 +151,18 @@ class RdmaTransport:
             verb = self.data_verb if kind == "data" else self.control_verb
         prof = self._profiles[verb]
         yield from cpu.work(prof.sender_cpu_s, cpu_categories.RDMA_POST)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "net.post",
+                self.sim.now,
+                transport=self.name,
+                verb=verb.value,
+                src=src_machine,
+                dst=dst_machine,
+                msg_kind=kind,
+                bytes=size_bytes,
+            )
         msg = WireMessage(
             payload=payload,
             size_bytes=size_bytes,

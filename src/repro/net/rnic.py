@@ -11,7 +11,7 @@ the RNIC coordinator".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.net.costs import CostModel
 from repro.net.fabric import Fabric

@@ -14,7 +14,7 @@ exactly the trade-off those figures show.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator

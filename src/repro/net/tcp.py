@@ -58,6 +58,17 @@ class TcpTransport:
         :class:`WireMessage` placed on the wire.
         """
         yield from cpu.work(self.costs.tcp_send_cpu_s, cpu_categories.NETWORK)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "net.post",
+                self.sim.now,
+                transport=self.name,
+                src=src_machine,
+                dst=dst_machine,
+                msg_kind=kind,
+                bytes=size_bytes,
+            )
         msg = WireMessage(
             payload=payload,
             size_bytes=size_bytes,

@@ -24,13 +24,15 @@ URGENT = 0
 class Simulator:
     """Discrete-event simulator with a float clock in seconds."""
 
-    __slots__ = ("_now", "_queue", "_seq", "_active_count")
+    __slots__ = ("_now", "_queue", "_seq", "_active_count", "_tracer", "_trace_steps")
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._queue: list = []
         self._seq = count()
         self._active_count = 0
+        self._tracer = None
+        self._trace_steps = False
 
     # ------------------------------------------------------------------
     # clock
@@ -39,6 +41,25 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        """The attached :class:`~repro.trace.Tracer`, or ``None``.
+
+        Every trace hook in the system guards on this being non-``None``,
+        so an untraced run costs one attribute check per hook.
+        """
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        # Event dispatch is the hottest loop in the repo; cache whether
+        # the tracer even wants sim.step records.
+        self._trace_steps = tracer is not None and tracer.wants("sim.step")
 
     # ------------------------------------------------------------------
     # event factories
@@ -73,8 +94,20 @@ class Simulator:
 
     def step(self) -> None:
         """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError(
+                "step() on an empty event queue: nothing left to simulate "
+                "(use peek() to check, or run() which stops at drain)"
+            )
         when, _prio, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        if self._trace_steps:
+            self._tracer.emit(
+                "sim.step",
+                when,
+                event=type(event).__name__,
+                n_callbacks=len(event.callbacks or ()),
+            )
         callbacks, event.callbacks = event.callbacks, None
         for cb in callbacks:
             cb(event)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Tuple
+from typing import TYPE_CHECKING, Any, Optional, Tuple
 
 from repro.sim.resources import Store
 
@@ -57,8 +57,15 @@ class TransferQueue(Store):
     returns only the payload.
     """
 
-    def __init__(self, sim: "Simulator", capacity: float = math.inf):
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float = math.inf,
+        name: Optional[str] = None,
+    ):
         super().__init__(sim, capacity)
+        #: label used in trace records (``queue.put/get/drop``)
+        self.name = name
         self.offered = 0
         self.accepted = 0
         self.dropped = 0
@@ -77,12 +84,27 @@ class TransferQueue(Store):
         self.accepted += 1
         if len(self.items) > self.max_length:
             self.max_length = len(self.items)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "queue.put", self.sim.now, queue=self.name, level=len(self.items)
+            )
 
     def _on_get(self, item: Any) -> None:
         self._integrate()
         enq_time, _payload = item
-        self.total_wait_time += self.sim.now - enq_time
+        wait_s = self.sim.now - enq_time
+        self.total_wait_time += wait_s
         self.dequeued += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "queue.get",
+                self.sim.now,
+                queue=self.name,
+                level=len(self.items),
+                wait_s=wait_s,
+            )
 
     # ------------------------------------------------------------------
     # timestamped wrappers
@@ -96,6 +118,14 @@ class TransferQueue(Store):
         ok = super().try_put((self.sim.now, item))
         if not ok:
             self.dropped += 1
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "queue.drop",
+                    self.sim.now,
+                    queue=self.name,
+                    level=len(self.items),
+                )
         return ok
 
     def get(self):

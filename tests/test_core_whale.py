@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import (
     BatchTuple,
-    MulticastController,
     QueueMonitor,
     StreamMonitor,
     create_system,
@@ -71,12 +70,31 @@ def test_make_worker_messages_one_per_machine():
 # ----------------------------------------------------------------------
 def test_stream_monitor_alpha_weighting():
     m = StreamMonitor(alpha=0.5)
-    assert m.observe(0, 1.0) == 0.0  # first sample seeds
-    r1 = m.observe(100, 1.0)  # N=100 -> 0.5*0 + 0.5*100
-    assert r1 == pytest.approx(50.0)
-    r2 = m.observe(300, 1.0)  # N=200 -> 0.5*50 + 0.5*200
-    assert r2 == pytest.approx(125.0)
-    assert m.rate == pytest.approx(125.0)
+    assert m.observe(0, 1.0) == 0.0  # first sample: no interval measured yet
+    r1 = m.observe(100, 1.0)  # N=100 seeds the EWMA directly
+    assert r1 == pytest.approx(100.0)
+    r2 = m.observe(300, 1.0)  # N=200 -> 0.5*100 + 0.5*200
+    assert r2 == pytest.approx(150.0)
+    assert m.rate == pytest.approx(150.0)
+
+
+def test_stream_monitor_no_cold_start_bias():
+    """Regression: seeding the EWMA with 0 instead of the first measured
+    N(t) under-reported lambda for ~1/(1-alpha) intervals after start."""
+    m = StreamMonitor(alpha=0.6)
+    m.observe(0, 1.0)
+    rate = 0.0
+    # A steady 1000 tuples/s stream: the estimate must converge within a
+    # couple of intervals, not climb slowly from zero.
+    for i in range(1, 4):
+        rate = m.observe(1000 * i, 1.0)
+    assert rate == pytest.approx(1000.0)
+    # With the old zero seed, three intervals would have reached only
+    # 1000 * (1 - alpha^3) = 784.
+    m2 = StreamMonitor(alpha=0.6)
+    m2.observe(0, 1.0)
+    first = m2.observe(1000, 1.0)
+    assert first == pytest.approx(1000.0)  # seeded, not 0.4 * 1000
 
 
 def test_stream_monitor_validation():
@@ -148,6 +166,59 @@ def test_queue_monitor_scale_up_on_empty_queue():
     mon = QueueMonitor(q, warning_waterline=50, t_down=0.4, t_up=0.5)
     mon.sample()
     assert mon.sample().action == "scale_up"  # l == l' == 0
+
+
+def test_queue_monitor_first_sample_holds():
+    sim = Simulator()
+    q = make_queue(sim, 80)  # already above the waterline
+    mon = QueueMonitor(q, warning_waterline=50, t_down=0.4, t_up=0.5)
+    # No history yet: the monitor cannot tell growth from drain.
+    assert mon.sample().action == "hold"
+
+
+def test_queue_monitor_scale_down_when_growth_crosses_waterline_exactly():
+    sim = Simulator()
+    q = make_queue(sim, 49)
+    mon = QueueMonitor(q, warning_waterline=50, t_down=10.0, t_up=0.5)
+    mon.sample()
+    q.try_put("x")  # 49 -> 50 == l_w: crossing dominates the ratio rule
+    assert mon.sample().action == "scale_down"
+
+
+def test_queue_monitor_no_scale_up_while_above_waterline():
+    """Regression: a fast drain that still leaves the queue at/above the
+    warning waterline must not trigger scale-up (flapping right after a
+    scale-down)."""
+    sim = Simulator()
+    q = make_queue(sim, 100)
+    mon = QueueMonitor(q, warning_waterline=50, t_down=0.4, t_up=0.3)
+    mon.sample()
+
+    def drain(n):
+        for _ in range(n):
+            yield q.get()
+
+    sim.process(drain(40))
+    sim.run()
+    # dL = -40 from l' = 100 (ratio 0.4 >= T_up) but l = 60 >= l_w.
+    assert mon.sample().action == "hold"
+    sim.process(drain(10))
+    sim.run()
+    # l = 50 == l_w: still suppressed — the drain must land strictly
+    # below the waterline before scale-up is considered.
+    assert mon.sample().action == "hold"
+    sim.process(drain(30))
+    sim.run()
+    # l = 20 < l_w and dL = -30 from l' = 50 -> ratio 0.6 >= T_up.
+    assert mon.sample().action == "scale_up"
+
+
+def test_queue_monitor_steady_nonempty_queue_holds():
+    sim = Simulator()
+    q = make_queue(sim, 30)
+    mon = QueueMonitor(q, warning_waterline=50, t_down=0.4, t_up=0.5)
+    mon.sample()
+    assert mon.sample().action == "hold"  # l == l' != 0: no signal
 
 
 def test_queue_monitor_validation():

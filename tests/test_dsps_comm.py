@@ -1,21 +1,10 @@
 """Focused tests of the communication engine: packet shapes, relaying,
 slicing integration, and determinism."""
 
-import numpy as np
 import pytest
 
 from repro.core import create_system, whale_full_config, whale_woc_rdma_config
-from repro.dsps import (
-    AllGrouping,
-    Bolt,
-    DspsSystem,
-    ShuffleGrouping,
-    Spout,
-    Topology,
-    storm_config,
-)
-from repro.dsps.comm import MulticastService
-from repro.multicast import SOURCE
+from repro.dsps import AllGrouping, Bolt, Spout, Topology, storm_config
 from repro.net import Cluster
 from repro.workloads import ConstantArrivals
 

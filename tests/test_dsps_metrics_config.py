@@ -33,45 +33,77 @@ def test_latency_summary_empty():
 def test_multicast_tracker_completes_on_last_receive():
     sim = Simulator()
     hub = MetricsHub(sim)
-    hub.multicast.register(1, 3, emit_time=0.0)
+    hub.multicast.register(1, [10, 11, 12], emit_time=0.0)
     sim.timeout(2.0)
     sim.run()
-    hub.multicast.on_receive(1)
-    hub.multicast.on_receive(1)
+    hub.multicast.on_receive(1, 10)
+    hub.multicast.on_receive(1, 11)
     assert hub.multicast.completed == 0
-    hub.multicast.on_receive(1)
+    hub.multicast.on_receive(1, 12)
     assert hub.multicast.completed == 1
     assert hub.multicast.latencies == [pytest.approx(2.0)]
     assert hub.multicast.outstanding == 0
 
 
+def test_multicast_tracker_ignores_duplicate_delivery():
+    """Regression: a re-delivered tuple used to double-decrement the
+    remaining-destination counter and complete the multicast early."""
+    sim = Simulator()
+    hub = MetricsHub(sim)
+    hub.multicast.register(1, [10, 11], emit_time=0.0)
+    hub.multicast.on_receive(1, 10)
+    hub.multicast.on_receive(1, 10)  # duplicate: must not count as 11
+    assert hub.multicast.completed == 0
+    assert hub.multicast.outstanding == 1
+    hub.multicast.on_receive(1, 11)
+    assert hub.multicast.completed == 1
+
+
 def test_multicast_tracker_ignores_unknown_and_cancelled():
     sim = Simulator()
     hub = MetricsHub(sim)
-    hub.multicast.on_receive(99)  # unknown: no-op
-    hub.multicast.register(1, 2, 0.0)
+    hub.multicast.on_receive(99, 0)  # unknown: no-op
+    hub.multicast.register(1, [10, 11], 0.0)
     hub.multicast.cancel(1)
-    hub.multicast.on_receive(1)
+    hub.multicast.on_receive(1, 10)
     assert hub.multicast.completed == 0
 
 
 def test_completion_tracker():
     sim = Simulator()
     hub = MetricsHub(sim)
-    hub.completion.register(5, 2, created_at=0.0)
+    hub.completion.register(5, [20, 21], created_at=0.0)
     sim.timeout(1.5)
     sim.run()
-    hub.completion.on_executed(5)
-    hub.completion.on_executed(5)
+    hub.completion.on_executed(5, 20)
+    hub.completion.on_executed(5, 20)  # duplicate execution report
+    assert hub.completion.completed == 0
+    hub.completion.on_executed(5, 21)
     assert hub.completion.completed == 1
     assert hub.completion.latencies == [pytest.approx(1.5)]
+
+
+def test_tracker_register_merges_repeat_registration():
+    """Two one-to-many edges from the same emit register the same tuple
+    id twice; the destination sets merge and the earliest time wins."""
+    sim = Simulator()
+    hub = MetricsHub(sim)
+    hub.multicast.register(1, [10], emit_time=1.0)
+    hub.multicast.register(1, [11], emit_time=2.0)
+    sim.timeout(3.0)
+    sim.run()
+    hub.multicast.on_receive(1, 10)
+    assert hub.multicast.completed == 0
+    hub.multicast.on_receive(1, 11)
+    assert hub.multicast.completed == 1
+    assert hub.multicast.latencies == [pytest.approx(2.0)]  # 3.0 - 1.0
 
 
 def test_tracker_register_validation():
     sim = Simulator()
     hub = MetricsHub(sim)
     with pytest.raises(ValueError):
-        hub.multicast.register(1, 0, 0.0)
+        hub.multicast.register(1, [], 0.0)
 
 
 # ----------------------------------------------------------------------

@@ -17,8 +17,6 @@ from repro.dsps import (
     AllGrouping,
     Bolt,
     DspsSystem,
-    FieldsGrouping,
-    ShuffleGrouping,
     Spout,
     Topology,
     rdma_storm_config,

@@ -1,6 +1,5 @@
 """Tests for L(t) (Eq. 6/7, Theorem 2) and relay receive-time schedules."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -1,6 +1,5 @@
 """Unit + property tests for the M/D/1 model (Eq. 1-5, Theorem 1)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

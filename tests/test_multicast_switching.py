@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.multicast import (
     SOURCE,
-    MulticastTree,
     apply_plan,
     build_nonblocking_tree,
     plan_switch,

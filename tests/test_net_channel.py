@@ -4,7 +4,7 @@
 import pytest
 
 from repro.net import Cluster, CostModel, CpuAccount, Fabric, RdmaTransport, TcpTransport
-from repro.net.channel import Channel, ChannelError, ChannelManager
+from repro.net.channel import ChannelError, ChannelManager
 from repro.net.rdma import Verb
 from repro.sim import Simulator
 

@@ -5,7 +5,6 @@ the measured figures — those live in ``benchmarks/``): worked examples,
 closed-form ratios, and protocol properties.
 """
 
-import math
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Event, Simulator, SimulationError, Timeout
+from repro.sim import Simulator, SimulationError
 
 
 def test_clock_starts_at_zero():

@@ -1,6 +1,5 @@
 """Unit tests for Store, Resource, and TransferQueue."""
 
-import math
 
 import pytest
 
