@@ -1,0 +1,26 @@
+"""Robustness ablation — interior-relay crash and recovery (not in the
+paper): failure detection, tree self-healing, and acker-driven replay
+turn a mid-run machine crash into a bounded recovery-time hiccup."""
+
+from _util import run_figure
+from repro.bench.faults import ablation_node_failure
+
+
+def test_ablation_node_failure(benchmark):
+    (table,) = run_figure(benchmark, ablation_node_failure, "ablation_node_failure")
+    baseline, crashed = table.rows
+    # Columns: scenario, goodput, recovery s, completed, replays,
+    # replayed roots, gave up, repairs, reattaches, msgs dead.
+    # The fault-free run needs no repairs and replays nothing.
+    assert baseline[4] == 0 and baseline[7] == 0
+    # The crash forces replays, one repair and one reattach, and drops
+    # messages on the floor while the machine is down.
+    assert crashed[4] > 0
+    assert crashed[7] >= 1 and crashed[8] >= 1
+    assert crashed[9] > 0
+    # Nothing is lost for good: no tree exhausts its retry budget, and
+    # full delivery is restored within a second of the crash.
+    assert crashed[6] == 0
+    assert 0.0 < crashed[2] < 1.0
+    # Goodput survives the outage (within 5% of the fault-free run).
+    assert crashed[1] > 0.95 * baseline[1]

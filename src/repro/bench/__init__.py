@@ -20,7 +20,9 @@ from repro.bench.report import Series, Table
 from repro.bench.ablations import ablation_dstar, ablation_queue_capacity
 from repro.bench.faults import (
     ablation_lossy_network,
+    ablation_node_failure,
     ablation_oversubscribed_racks,
+    node_failure_run,
 )
 
 __all__ = [
@@ -29,8 +31,10 @@ __all__ = [
     "Table",
     "ablation_dstar",
     "ablation_lossy_network",
+    "ablation_node_failure",
     "ablation_oversubscribed_racks",
     "ablation_queue_capacity",
+    "node_failure_run",
     "downstream_service_estimate",
     "run_app",
     "sweep_offered_rate",

@@ -1,7 +1,7 @@
-"""Robustness ablations: lossy links and oversubscribed rack uplinks.
+"""Robustness ablations: lossy links, oversubscribed uplinks, crashes.
 
 Not figures from the paper — these probe whether Whale's wins survive a
-less forgiving network than the paper's non-blocking InfiniBand core:
+less forgiving cluster than the paper's non-blocking InfiniBand core:
 
 * :func:`ablation_lossy_network` — inject in-flight message loss and
   compare the fraction of broadcast tuples that reach *all* destination
@@ -13,16 +13,43 @@ less forgiving network than the paper's non-blocking InfiniBand core:
   latency-only rack effect, and report how much uplink headroom each
   system leaves.  The stable result is *explained*, not assumed: all
   three systems are CPU-bound long before a 4:1 core congests.
+* :func:`ablation_node_failure` — crash an interior relay machine
+  mid-run with failure detection, tree self-healing, and acker-driven
+  replay enabled, and report recovery time (crash until full delivery
+  is restored for every affected broadcast tuple) and goodput.
+
+Run the crash table from the shell::
+
+    python -m repro.bench.faults            # full table
+    python -m repro.bench.faults --smoke    # one small crash run (CI)
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import math
+from typing import Any, Dict, List, Optional
 
+import numpy as np
+
+from repro.analytic import SystemShape, sustainable_rate
+from repro.apps.ridehailing import ride_hailing_topology
 from repro.bench.report import Table
-from repro.bench.runner import run_app
-from repro.core import whale_full_config
+from repro.bench.runner import (
+    N_DRIVERS,
+    downstream_service_estimate,
+    run_app,
+)
+from repro.core import create_system, whale_full_config
 from repro.dsps import rdma_storm_config, storm_config
+from repro.faults import FaultSchedule
+from repro.multicast import SOURCE
+from repro.net.cluster import Cluster
+from repro.workloads import PoissonArrivals
+from repro.workloads.ridehailing import REQUEST_RECORD_BYTES
+
+#: Post-run drain time: long enough for every in-flight message to land
+#: on a loss-free path (multicast latencies are sub-millisecond).
+DRAIN_S = 0.25
 
 
 def ablation_lossy_network(
@@ -30,7 +57,9 @@ def ablation_lossy_network(
 ) -> Table:
     """Full-delivery fraction of Storm vs Whale under injected loss."""
     loss_values = loss_values if loss_values is not None else [0.0, 0.001, 0.01]
-    configs = [storm_config(), whale_full_config()]
+    # Fixed tree (adaptive=False): mid-run switches can strand an
+    # in-flight copy, which would contaminate the loss measurement.
+    configs = [storm_config(), whale_full_config(adaptive=False)]
     table = Table(
         f"Ablation: in-flight message loss (parallelism {parallelism})",
         ["loss prob"]
@@ -51,6 +80,14 @@ def ablation_lossy_network(
             )
             system = run.system
             assert system is not None
+            # Drain before measuring: tuples still in flight when the
+            # window closes are races against the clock, not losses.
+            # Stop the arrival processes and give the wire time to land
+            # whatever is outstanding; what remains pending afterwards
+            # really was lost.
+            for spout in system.spout_executors:
+                spout.stop()
+            system.sim.run(until=system.sim.now + DRAIN_S)
             tracker = system.metrics.multicast
             tracked = tracker.completed + tracker.outstanding
             fractions.append(
@@ -59,11 +96,12 @@ def ablation_lossy_network(
             lost.append(system.fabric.messages_lost)
         table.add(loss, *fractions, *lost)
     table.note(
-        "full delivery = every destination instance received the tuple. "
-        "Whale sends ~8x fewer wire messages per tuple, but its relay "
-        "tree amplifies each loss (an upstream loss cuts off the whole "
-        "subtree) — reliability needs the acker/replay layer either way "
-        "(repro.dsps.acker)"
+        "full delivery = every destination instance received the tuple, "
+        "measured after a post-run drain so in-flight tuples are not "
+        "miscounted as losses. Whale sends ~8x fewer wire messages per "
+        "tuple, but its relay tree amplifies each loss (an upstream loss "
+        "cuts off the whole subtree) — reliability needs the acker/"
+        "replay layer either way (repro.dsps.reliability)"
     )
     return table
 
@@ -119,3 +157,244 @@ def ablation_oversubscribed_racks(
         "columns) — which is why the paper's Figs. 33/34 are flat"
     )
     return table
+
+
+# ----------------------------------------------------------------------
+# node failure: crash an interior relay, measure recovery
+# ----------------------------------------------------------------------
+def _interior_relay_machine(system) -> int:
+    """Pick the machine of an interior (relaying, non-root) tree node.
+
+    Machines hosting a multicast source or the acker are never picked:
+    the experiment measures relay recovery, not source loss.  (A side
+    stream's spout landing on the victim is fine — it just pauses.)
+    """
+    protected = set()
+    if system.reliability is not None:
+        protected.add(system.reliability.home_machine)
+    for service in system.multicast_services:
+        protected.add(service.src_machine)
+    for service in system.multicast_services:
+        for node in service.tree.bfs():
+            if node is SOURCE or not service.tree.children(node):
+                continue
+            machine = service.machine_of(node)
+            if machine not in protected:
+                return machine
+    raise RuntimeError("no interior relay endpoint available to crash")
+
+
+def node_failure_run(
+    crash: bool = True,
+    crash_at: float = 0.3,
+    downtime_s: float = 0.25,
+    duration_s: float = 1.0,
+    parallelism: int = 24,
+    n_machines: int = 8,
+    offered_rate: Optional[float] = None,
+    seed: int = 42,
+    drain_s: float = 2.0,
+) -> Dict[str, Any]:
+    """One crash-recovery point; returns the raw measurements.
+
+    Builds full Whale with failure detection and at-least-once replay,
+    crashes the machine of an interior relay node at ``crash_at``,
+    recovers it ``downtime_s`` later, then keeps the sim running after
+    arrivals stop until every registered broadcast tuple completed (or
+    exhausted its retry budget).  Recovery time is crash -> the last
+    replayed tuple's completion, i.e. how long the crash kept full
+    delivery from being restored.
+    """
+    config = whale_full_config(adaptive=False).with_overrides(
+        name="whale-faults",
+        at_least_once=True,
+        failure_detection=True,
+        ack_timeout_s=0.15,
+        ack_sweep_interval_s=0.02,
+        max_replays=8,
+    )
+    topology = ride_hailing_topology(
+        parallelism, n_drivers=N_DRIVERS, compute_real_matches=False
+    )
+    if offered_rate is None:
+        shape = SystemShape(
+            parallelism=parallelism,
+            n_machines=n_machines,
+            payload_bytes=REQUEST_RECORD_BYTES,
+        )
+        offered_rate = min(
+            400.0,
+            0.5
+            * sustainable_rate(
+                config,
+                shape,
+                downstream_service_estimate("ridehailing", parallelism),
+            ),
+        )
+    rng = np.random.default_rng(seed)
+    arrivals = {
+        "requests": PoissonArrivals(offered_rate, rng),
+        "driver_locations": PoissonArrivals(
+            min(1000.0, offered_rate), rng
+        ),
+    }
+    system = create_system(
+        topology,
+        config,
+        cluster=Cluster(n_machines, 1, 16),
+        arrivals=arrivals,
+        seed=seed,
+    )
+    victim = _interior_relay_machine(system)
+    if crash:
+        system.add_fault_schedule(
+            FaultSchedule.single_crash(victim, crash_at, crash_at + downtime_s)
+        )
+    system.start()
+    system.metrics.open_window()
+    system.sim.run(until=duration_s)
+    for spout in system.spout_executors:
+        spout.stop()
+    reliability = system.reliability
+    assert reliability is not None
+    deadline = duration_s + drain_s
+    while reliability.outstanding and system.sim.now < deadline:
+        system.sim.run(until=min(deadline, system.sim.now + 0.05))
+    system.metrics.close_window()
+
+    replayed = reliability.replayed_completions()
+    recovery_s = (
+        max(r.completed_at for r in replayed) - crash_at
+        if crash and replayed
+        else (0.0 if crash else math.nan)
+    )
+    return {
+        "variant": config.name,
+        "victim_machine": victim,
+        "offered_rate": offered_rate,
+        "registered": reliability.registered,
+        "completed": len(reliability.completions),
+        "outstanding": reliability.outstanding,
+        "goodput": len(reliability.completions) / duration_s,
+        "recovery_s": recovery_s,
+        "replays": reliability.replays,
+        "replayed_roots": len(replayed),
+        "gave_up": len(reliability.gave_up),
+        "repairs": sum(s.repair_count for s in system.multicast_services),
+        "reattaches": sum(
+            s.reattach_count for s in system.multicast_services
+        ),
+        "messages_dead": system.fabric.messages_dead,
+        "system": system,
+    }
+
+
+def ablation_node_failure(
+    crash_at: float = 0.3,
+    downtime_s: float = 0.25,
+    duration_s: float = 1.0,
+    parallelism: int = 24,
+    n_machines: int = 8,
+    seed: int = 42,
+) -> Table:
+    """Recovery time and goodput after an interior-relay crash."""
+    table = Table(
+        f"Ablation: interior-relay crash (k={parallelism}, crash at "
+        f"{crash_at:g}s, down {downtime_s:g}s, run {duration_s:g}s)",
+        [
+            "scenario",
+            "goodput tuple/s",
+            "recovery time s",
+            "tuples completed",
+            "replays",
+            "replayed roots",
+            "gave up",
+            "repairs",
+            "reattaches",
+            "msgs dead",
+        ],
+    )
+    for label, crash in (("no fault", False), ("crash+recover", True)):
+        point = node_failure_run(
+            crash=crash,
+            crash_at=crash_at,
+            downtime_s=downtime_s,
+            duration_s=duration_s,
+            parallelism=parallelism,
+            n_machines=n_machines,
+            seed=seed,
+        )
+        table.add(
+            label,
+            point["goodput"],
+            point["recovery_s"],
+            point["completed"],
+            point["replays"],
+            point["replayed_roots"],
+            point["gave_up"],
+            point["repairs"],
+            point["reattaches"],
+            point["messages_dead"],
+        )
+    table.note(
+        "recovery time = crash until the last replayed broadcast tuple "
+        "completed at every destination instance; goodput counts "
+        "distinct fully-delivered tuples (replay duplicates are deduped "
+        "by the set-based trackers). The crashed machine's endpoint is "
+        "repaired out of the relay tree on suspicion and reattached on "
+        "recovery; timed-out tuples are replayed by the acker."
+    )
+    return table
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.bench.faults`` — run the crash-recovery table."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.faults",
+        description="Crash an interior relay machine and measure recovery.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one small crash run (CI-sized: fewer instances, shorter run)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        point = node_failure_run(
+            parallelism=12,
+            n_machines=6,
+            duration_s=0.6,
+            crash_at=0.2,
+            downtime_s=0.15,
+            offered_rate=150.0,
+            seed=args.seed,
+        )
+        print(
+            f"smoke: crashed machine {point['victim_machine']}, "
+            f"{point['completed']}/{point['registered']} tuples completed "
+            f"({point['outstanding']} outstanding, "
+            f"{point['gave_up']} gave up)"
+        )
+        print(
+            f"  recovery {point['recovery_s'] * 1e3:.1f} ms after crash, "
+            f"{point['replays']} replays over "
+            f"{point['replayed_roots']} roots, "
+            f"{point['repairs']} repairs / {point['reattaches']} reattaches"
+        )
+        ok = point["outstanding"] == 0 and point["replays"] > 0
+        print("smoke OK" if ok else "smoke FAILED")
+        return 0 if ok else 1
+    table = ablation_node_failure(seed=args.seed)
+    print(table.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -115,12 +115,15 @@ def run_app(
     keep_system: bool = False,
     fabric_options: Optional[Dict] = None,
     trace_path: Optional[str] = None,
+    fault_schedule=None,
 ) -> AppRun:
     """Measure one (app, variant, parallelism) point.
 
     ``trace_path`` streams a structured JSONL trace of the run (with a
     manifest carrying config/seed/git rev) to that file; summarize it
-    with ``python -m repro.trace PATH``.
+    with ``python -m repro.trace PATH``.  ``fault_schedule`` (a
+    :class:`~repro.faults.FaultSchedule`) injects machine crashes and
+    recoveries at the scheduled sim times.
     """
     if app == "ridehailing":
         topology = ride_hailing_topology(
@@ -176,6 +179,7 @@ def run_app(
             seed=seed,
             fabric_options=fabric_options,
             tracer=tracer,
+            fault_schedule=fault_schedule,
         )
         measure_s = min(2.0, max(0.1, tuple_budget / offered_rate))
         warmup_s = min(0.5, max(0.05, 0.3 * measure_s))

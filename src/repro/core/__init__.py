@@ -13,8 +13,8 @@
 """
 
 from repro.core.batch import BatchTuple, WorkerMessage, group_tasks_by_machine
-from repro.core.controller import MulticastController, SwitchRecord
-from repro.core.monitor import QueueMonitor, StreamMonitor
+from repro.core.controller import MulticastController, RepairRecord, SwitchRecord
+from repro.core.monitor import FailureDetector, QueueMonitor, StreamMonitor
 from repro.core.whale import (
     create_system,
     whale_diffverbs_config,
@@ -25,8 +25,10 @@ from repro.core.whale import (
 
 __all__ = [
     "BatchTuple",
+    "FailureDetector",
     "MulticastController",
     "QueueMonitor",
+    "RepairRecord",
     "StreamMonitor",
     "SwitchRecord",
     "WorkerMessage",

@@ -23,7 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List
 
-from repro.core.monitor import QueueMonitor, StreamMonitor
+from repro.core.monitor import FailureDetector, QueueMonitor, StreamMonitor
+from repro.dsps.worker import HeartbeatAck, HeartbeatPing
 from repro.multicast import (
     binomial_out_degree,
     max_out_degree,
@@ -44,6 +45,18 @@ class SwitchRecord:
     direction: str  # "scale_down" | "scale_up"
     old_d_star: int
     new_d_star: int
+    n_ops: int
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class RepairRecord:
+    """One completed tree repair or endpoint reattachment."""
+
+    time: float
+    action: str  # "repair" | "reattach"
+    machine: int
+    n_endpoints: int
     n_ops: int
     duration_s: float
 
@@ -75,6 +88,11 @@ class MulticastController:
         self.stream_monitor = StreamMonitor(alpha=cfg.alpha)
         self.cpu = CpuAccount(self.sim, f"controller[{service.src_task}]")
         self.history: List[SwitchRecord] = []
+        self.repairs: List[RepairRecord] = []
+        self.detector: "FailureDetector | None" = None
+        #: guards the service's pause event: adaptive switches and
+        #: failure repairs are serialized, never interleaved.
+        self._switching = False
         self._running = False
 
     # ------------------------------------------------------------------
@@ -82,7 +100,13 @@ class MulticastController:
         if self._running:
             raise RuntimeError("controller already started")
         self._running = True
-        self.sim.process(self._loop())
+        if self.config.adaptive and self.config.multicast == "nonblocking":
+            self.sim.process(self._loop())
+        if self.config.failure_detection:
+            self.system.workers[self.service.src_machine].add_control_handler(
+                self._on_control
+            )
+            self.sim.process(self._heartbeat_loop())
 
     @property
     def d_star(self) -> int:
@@ -135,6 +159,15 @@ class MulticastController:
 
     # ------------------------------------------------------------------
     def _switch(self, direction: str, new_d_star: int):
+        if self._switching:
+            return  # a repair/restore holds the pause; skip this round
+        self._switching = True
+        try:
+            yield from self._switch_locked(direction, new_d_star)
+        finally:
+            self._switching = False
+
+    def _switch_locked(self, direction: str, new_d_star: int):
         service = self.service
         start = self.sim.now
         old_d_star = service.d_star
@@ -215,3 +248,181 @@ class MulticastController:
                 duration_s=self.sim.now - start,
             )
         )
+
+    # ------------------------------------------------------------------
+    # failure detection + tree self-healing
+    # ------------------------------------------------------------------
+    def _endpoint_machines(self) -> List[int]:
+        service = self.service
+        return sorted(
+            {service.machine_of(ep) for ep in service.endpoints}
+            - {service.src_machine}
+        )
+
+    def _heartbeat_loop(self):
+        cfg = self.config
+        service = self.service
+        machines = self._endpoint_machines()
+        self.detector = FailureDetector(
+            lambda: self.sim.now, machines, cfg.suspicion_timeout_s
+        )
+        seq = 0
+        while True:
+            yield self.sim.timeout(cfg.heartbeat_period_s)
+            seq += 1
+            for machine in machines:
+                yield from self.system.control_send(
+                    service.src_machine,
+                    machine,
+                    HeartbeatPing(reply_to=service.src_machine, seq=seq),
+                    self.cpu,
+                )
+            for machine in self.detector.sweep():
+                yield from self._repair(machine)
+
+    def _on_control(self, payload) -> None:
+        """Control-plane handler on the source machine's worker."""
+        if not isinstance(payload, HeartbeatAck):
+            return
+        if self.detector is None:
+            return
+        if self.detector.heard_from(payload.machine):
+            # First ack after a suspicion: the machine recovered.
+            self.sim.process(self._restore(payload.machine))
+
+    def _repair(self, machine: int):
+        """Excise every endpoint of a suspected machine (Section 3.4
+        primitives), after degrading its channels to the TCP path."""
+        service = self.service
+        victims = [
+            ep
+            for ep in service.endpoints_on_machine(machine)
+            if ep in service.tree
+        ]
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "fault.suspect",
+                self.sim.now,
+                machine=machine,
+                src_task=service.src_task,
+                n_endpoints=len(victims),
+            )
+        self.system.transport.set_degraded(machine, True)
+        if not victims:
+            return
+        while self._switching:
+            yield self.sim.timeout(self.config.heartbeat_period_s)
+        self._switching = True
+        start = self.sim.now
+        resume = self.sim.event()
+        service.paused_until = resume
+        try:
+            status = StatusMessage(direction="repair", new_d_star=service.d_star)
+            yield from self._broadcast_status(status, skip={machine})
+            yield self.sim.timeout(self.config.switch_delay_s)
+            n_ops = 0
+            for ep in victims:
+                plan = service.detach_endpoint(ep)
+                if plan is None:
+                    continue
+                n_ops += plan.n_ops
+                yield from self._send_plan_ops(plan, skip={machine})
+        finally:
+            service.paused_until = None
+            resume.succeed()
+            self._switching = False
+        self.repairs.append(
+            RepairRecord(
+                time=start,
+                action="repair",
+                machine=machine,
+                n_endpoints=len(victims),
+                n_ops=n_ops,
+                duration_s=self.sim.now - start,
+            )
+        )
+
+    def _restore(self, machine: int):
+        """Reattach a recovered machine's endpoints and lift the TCP
+        degraded mode."""
+        service = self.service
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "fault.restore",
+                self.sim.now,
+                machine=machine,
+                src_task=service.src_task,
+            )
+        self.system.transport.set_degraded(machine, False)
+        victims = [
+            ep
+            for ep in service.endpoints_on_machine(machine)
+            if ep not in service.tree
+        ]
+        if not victims:
+            return
+        while self._switching:
+            yield self.sim.timeout(self.config.heartbeat_period_s)
+        self._switching = True
+        start = self.sim.now
+        resume = self.sim.event()
+        service.paused_until = resume
+        try:
+            status = StatusMessage(
+                direction="reattach", new_d_star=service.d_star
+            )
+            yield from self._broadcast_status(status, skip=set())
+            yield self.sim.timeout(self.config.switch_delay_s)
+            n_ops = 0
+            for ep in victims:
+                plan = service.reattach_endpoint(ep)
+                if plan is None:
+                    continue
+                n_ops += plan.n_ops
+                yield from self._send_plan_ops(plan, skip=set())
+        finally:
+            service.paused_until = None
+            resume.succeed()
+            self._switching = False
+        self.repairs.append(
+            RepairRecord(
+                time=start,
+                action="reattach",
+                machine=machine,
+                n_endpoints=len(victims),
+                n_ops=n_ops,
+                duration_s=self.sim.now - start,
+            )
+        )
+
+    def _broadcast_status(self, status: StatusMessage, skip: set):
+        """StatusMessage to every reachable endpoint machine."""
+        service = self.service
+        suspected = self.detector.suspected if self.detector else frozenset()
+        for machine in self._endpoint_machines():
+            if machine in skip or machine in suspected:
+                continue
+            yield from self.system.control_send(
+                service.src_machine, machine, status, self.cpu
+            )
+
+    def _send_plan_ops(self, plan, skip: set):
+        """ControlMessages to the endpoints each rewire op touches."""
+        service = self.service
+        suspected = self.detector.suspected if self.detector else frozenset()
+        for msg in plan.control_messages():
+            node = msg.op.node
+            if node not in service.endpoints:
+                continue
+            machine = service.machine_of(node)
+            if (
+                machine == service.src_machine
+                or machine in skip
+                or machine in suspected
+            ):
+                continue
+            yield from self.system.control_send(
+                service.src_machine, machine, msg, self.cpu
+            )

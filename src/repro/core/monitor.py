@@ -10,12 +10,15 @@ Bridges the gap between the M/D/1 model and the running system:
 * :class:`QueueMonitor` watches the transfer queue's waterline and
   evaluates the Section 3.3 trigger rules (*negative scale-down* /
   *active scale-up*) on each sample.
+* :class:`FailureDetector` turns heartbeat silence into suspicion: a
+  machine unheard from for longer than the suspicion timeout is declared
+  suspect, and un-suspected the moment it speaks again.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Optional
+from typing import Callable, Dict, FrozenSet, Iterable, List, Literal, Optional
 
 from repro.sim.queues import TransferQueue
 
@@ -112,3 +115,59 @@ class QueueMonitor:
         elif l == 0 and prev == 0:
             return QueueDecision("scale_up", l, 0)
         return QueueDecision("hold", l, delta)
+
+
+class FailureDetector:
+    """Timeout-based failure detector over heartbeat acks.
+
+    The watcher calls :meth:`heard_from` on every ack and :meth:`sweep`
+    periodically; a machine silent for ``suspicion_timeout_s`` becomes
+    *suspected* until its next ack.  Pure bookkeeping (clock injected),
+    so the protocol is testable without the DES.
+    """
+
+    def __init__(
+        self,
+        now_fn: Callable[[], float],
+        machines: Iterable[int],
+        suspicion_timeout_s: float,
+    ):
+        if suspicion_timeout_s <= 0:
+            raise ValueError("suspicion timeout must be positive")
+        self._now = now_fn
+        self.suspicion_timeout_s = suspicion_timeout_s
+        now = now_fn()
+        self._last_heard: Dict[int, float] = {m: now for m in machines}
+        self._suspected: set = set()
+
+    @property
+    def machines(self) -> List[int]:
+        return sorted(self._last_heard)
+
+    @property
+    def suspected(self) -> FrozenSet[int]:
+        return frozenset(self._suspected)
+
+    def heard_from(self, machine: int) -> bool:
+        """Record liveness; returns True when this ack clears an active
+        suspicion (the machine recovered)."""
+        if machine not in self._last_heard:
+            return False  # not a machine this detector watches
+        self._last_heard[machine] = self._now()
+        if machine in self._suspected:
+            self._suspected.discard(machine)
+            return True
+        return False
+
+    def sweep(self) -> List[int]:
+        """Suspect every machine silent past the timeout; returns only
+        the *newly* suspected ones (sorted, for determinism)."""
+        now = self._now()
+        newly = sorted(
+            m
+            for m, heard in self._last_heard.items()
+            if m not in self._suspected
+            and now - heard >= self.suspicion_timeout_s
+        )
+        self._suspected.update(newly)
+        return newly

@@ -101,12 +101,17 @@ def create_system(
     seed: int = 0,
     fabric_options: Optional[Dict] = None,
     tracer=None,
+    fault_schedule=None,
 ) -> DspsSystem:
     """Build a system; attach and start controllers for adaptive configs.
 
     Controllers are exposed as ``system.controllers`` (empty for
-    non-adaptive variants).  ``tracer`` (a :class:`~repro.trace.Tracer`)
-    enables structured run tracing.
+    non-adaptive variants).  A controller is also attached per multicast
+    service when ``config.failure_detection`` is on, running the
+    heartbeat failure detector and tree self-healing.  ``tracer`` (a
+    :class:`~repro.trace.Tracer`) enables structured run tracing;
+    ``fault_schedule`` (a :class:`~repro.faults.FaultSchedule`) injects
+    machine crashes/recoveries at the scheduled sim times.
     """
     system = DspsSystem(
         topology,
@@ -116,9 +121,13 @@ def create_system(
         seed=seed,
         fabric_options=fabric_options,
         tracer=tracer,
+        fault_schedule=fault_schedule,
     )
     controllers: List[MulticastController] = []
-    if config.adaptive and config.multicast == "nonblocking":
+    need_controllers = (
+        config.adaptive and config.multicast == "nonblocking"
+    ) or config.failure_detection
+    if need_controllers:
         for service in system.multicast_services:
             controllers.append(MulticastController(system, service))
     system.controllers = controllers  # type: ignore[attr-defined]

@@ -42,6 +42,8 @@ from repro.multicast import (
     build_binomial_tree,
     build_nonblocking_tree,
     build_sequential_tree,
+    plan_reattach,
+    plan_repair,
 )
 from repro.net import cpu as cats
 from repro.net.slicing import StreamSlicer
@@ -162,6 +164,11 @@ class MulticastService:
         #: event set while a dynamic switch is in progress (source pauses).
         self.paused_until = None  # type: Optional[Any]
         self.switch_count = 0
+        #: endpoints excised from the tree because their machine is
+        #: suspected/crashed; restored on recovery.
+        self._detached: set = set()
+        self.repair_count = 0
+        self.reattach_count = 0
 
     # ------------------------------------------------------------------
     def _build(self, endpoints: Sequence[Any]) -> MulticastTree:
@@ -177,6 +184,20 @@ class MulticastService:
     @property
     def endpoints(self) -> List[Any]:
         return list(self._tasks_of_endpoint)
+
+    @property
+    def active_endpoints(self) -> List[Any]:
+        """Endpoints currently wired into the tree (not detached)."""
+        return [
+            ep for ep in self._tasks_of_endpoint if ep not in self._detached
+        ]
+
+    def endpoints_on_machine(self, machine_id: int) -> List[Any]:
+        return [
+            ep
+            for ep, m in self._machine_of_endpoint.items()
+            if m == machine_id
+        ]
 
     def tasks_of(self, endpoint: Any) -> List[int]:
         return self._tasks_of_endpoint[endpoint]
@@ -214,6 +235,11 @@ class MulticastService:
         self, worker: "Worker", endpoint: Any, tup: StreamTuple
     ) -> Iterator:
         """Relay side: forward already-serialized bytes to children."""
+        if endpoint not in self.tree:
+            # Stale in-flight packet: the endpoint was repaired out of
+            # the tree while this message was on the wire.  Local
+            # dispatch already happened; nothing left to relay.
+            return
         comm = self.system.comm
         for child in self.tree.children(endpoint):
             yield from comm.send_to_endpoint(
@@ -234,6 +260,72 @@ class MulticastService:
             raise ValueError("rewired tree changes the endpoint set")
         self.tree = new_tree
         self.switch_count += 1
+
+    # ------------------------------------------------------------------
+    # failure repair (tree self-healing)
+    # ------------------------------------------------------------------
+    def detach_endpoint(self, endpoint: Any):
+        """Excise a failed endpoint, reattaching its orphaned subtrees.
+
+        Returns the :class:`~repro.multicast.SwitchPlan` applied, or
+        ``None`` when the endpoint was already detached.  Each applied
+        rewire is traced as ``switch.repair``.
+        """
+        if endpoint not in self._tasks_of_endpoint:
+            raise ValueError(f"unknown endpoint {endpoint!r}")
+        if endpoint in self._detached or endpoint not in self.tree:
+            return None
+        new_tree, plan = plan_repair(self.tree, endpoint, self.d_star)
+        self.tree = new_tree
+        self._detached.add(endpoint)
+        self.repair_count += 1
+        self._trace_repair(plan, endpoint)
+        return plan
+
+    def reattach_endpoint(self, endpoint: Any):
+        """Re-admit a recovered endpoint as a leaf; returns the plan
+        applied, or ``None`` when the endpoint was never detached."""
+        if endpoint not in self._tasks_of_endpoint:
+            raise ValueError(f"unknown endpoint {endpoint!r}")
+        if endpoint not in self._detached:
+            return None
+        new_tree, plan = plan_reattach(self.tree, endpoint, self.d_star)
+        self.tree = new_tree
+        self._detached.discard(endpoint)
+        self.reattach_count += 1
+        self._trace_repair(plan, endpoint)
+        return plan
+
+    def _trace_repair(self, plan, endpoint: Any) -> None:
+        tracer = self.system.sim.tracer
+        if tracer is None:
+            return
+        now = self.system.sim.now
+        for op in plan.ops:
+            tracer.emit(
+                "switch.repair",
+                now,
+                direction=plan.status,
+                endpoint=endpoint,
+                node=op.node,
+                old_parent=op.old_parent,
+                new_parent=op.new_parent,
+                src_task=self.src_task,
+                dst_operator=self.dst_operator,
+            )
+        if not plan.ops:
+            # A leaf failure detaches with zero rewires; still record it.
+            tracer.emit(
+                "switch.repair",
+                now,
+                direction=plan.status,
+                endpoint=endpoint,
+                node=endpoint,
+                old_parent=None,
+                new_parent=None,
+                src_task=self.src_task,
+                dst_operator=self.dst_operator,
+            )
 
 
 # ----------------------------------------------------------------------

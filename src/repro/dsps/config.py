@@ -62,6 +62,27 @@ class SystemConfig:
     #: simulated one-way controller->instances switching delay budget
     switch_delay_s: float = 0.002
 
+    # --- reliability (at-least-once via the acker) -------------------------
+    #: track one-to-many spout tuples with the acker and replay timeouts
+    at_least_once: bool = False
+    #: tree age at which the acker declares a timeout (Storm's
+    #: TOPOLOGY_MESSAGE_TIMEOUT_SECS, scaled to simulated seconds)
+    ack_timeout_s: float = 0.5
+    #: how often the replay coordinator sweeps for expired trees
+    ack_sweep_interval_s: float = 0.05
+    #: replay attempts per root before giving up
+    max_replays: int = 5
+    #: backoff before replay attempt k is ``base * 2**(k-1)``
+    replay_backoff_base_s: float = 0.01
+
+    # --- failure detection + tree self-healing -----------------------------
+    #: heartbeat-based failure detector in the multicast controller
+    failure_detection: bool = False
+    #: heartbeat ping period
+    heartbeat_period_s: float = 0.02
+    #: silence span after which an endpoint machine is suspected
+    suspicion_timeout_s: float = 0.06
+
     #: cost model (shared by all variants of one experiment)
     costs: CostModel = field(default_factory=CostModel)
 
@@ -78,6 +99,20 @@ class SystemConfig:
             raise ValueError("warning waterline must be a fraction in (0,1)")
         if self.d_star is not None and self.d_star < 1:
             raise ValueError(f"d_star must be >= 1, got {self.d_star}")
+        if self.ack_timeout_s <= 0:
+            raise ValueError("ack timeout must be positive")
+        if self.ack_sweep_interval_s <= 0:
+            raise ValueError("ack sweep interval must be positive")
+        if self.max_replays < 0:
+            raise ValueError("max_replays must be >= 0")
+        if self.replay_backoff_base_s < 0:
+            raise ValueError("replay backoff base must be >= 0")
+        if self.heartbeat_period_s <= 0:
+            raise ValueError("heartbeat period must be positive")
+        if self.suspicion_timeout_s <= self.heartbeat_period_s:
+            raise ValueError(
+                "suspicion timeout must exceed the heartbeat period"
+            )
 
     @property
     def warning_waterline(self) -> float:

@@ -57,6 +57,8 @@ class _EmitCollector:
 class ExecutorBase:
     """Shared machinery of spout and bolt executors."""
 
+    is_spout = False
+
     def __init__(self, system: "DspsSystem", task_id: int):
         self.system = system
         self.sim = system.sim
@@ -85,10 +87,23 @@ class ExecutorBase:
         self.last_out_degree = 1
         self.emitted = 0
         self.sent = 0
+        #: True while this executor's machine is crashed.
+        self.halted = False
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         self.sim.process(self._send_loop())
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def halt(self) -> None:
+        """Machine crash: stop working and lose every queued item."""
+        self.halted = True
+        self.transfer_queue.clear()
+
+    def resume_from_crash(self) -> None:
+        self.halted = False
 
     def context(self) -> TupleContext:
         return TupleContext(
@@ -173,6 +188,10 @@ class ExecutorBase:
                         operator=self.operator,
                         where=f"{self.operator}.transfer_queue",
                     )
+            elif grouping.one_to_many and self.is_spout:
+                reliability = self.system.reliability
+                if reliability is not None:
+                    reliability.register(self, env)
 
     # ------------------------------------------------------------------
     # sending thread
@@ -181,6 +200,8 @@ class ExecutorBase:
         comm = self.system.comm
         while True:
             env = yield self.transfer_queue.get()
+            if self.halted:
+                continue  # crashed machine: the envelope dies here
             t0 = self.sim.now
             n_sends = yield from comm.send(self, env)
             n_sends = max(1, n_sends or 1)
@@ -208,6 +229,10 @@ class BoltExecutor(ExecutorBase):
         )
         self.processed = 0
 
+    def halt(self) -> None:
+        super().halt()
+        self.inqueue.clear()
+
     def start(self) -> None:
         super().start()
         self.bolt.prepare(self.context())
@@ -224,14 +249,21 @@ class BoltExecutor(ExecutorBase):
         metrics = self.system.metrics
         while True:
             at = yield self.inqueue.get()
+            if self.halted:
+                continue  # crashed machine: the tuple dies unprocessed
             tup: StreamTuple = at.tuple
             service = self.bolt.service_time(tup)
             if service > 0:
                 yield from self.cpu.work(service, cats.PROCESSING)
+            if self.halted:
+                continue  # crash landed mid-service: no output, no ack
             self.bolt.execute(tup, self.collector)
             self.processed += 1
             metrics.on_processed(self.operator)
             metrics.completion.on_executed(tup.tuple_id, self.task_id)
+            reliability = self.system.reliability
+            if reliability is not None:
+                reliability.notify_executed(self.task_id, tup)
             tracer = self.sim.tracer
             if tracer is not None:
                 tracer.emit(
@@ -250,6 +282,8 @@ class BoltExecutor(ExecutorBase):
 
 class SpoutExecutor(ExecutorBase):
     """Arrival-driven emission loop around one Spout instance."""
+
+    is_spout = True
 
     def __init__(self, system: "DspsSystem", task_id: int):
         super().__init__(system, task_id)
@@ -282,6 +316,8 @@ class SpoutExecutor(ExecutorBase):
             yield self.sim.timeout(gap)
             if self._stop:
                 return
+            if self.halted:
+                continue  # crashed machine: arrivals are lost, not queued
             values, key, nbytes = self.spout.next_tuple()
             if self.spout.emit_service_s > 0:
                 yield from self.cpu.work(self.spout.emit_service_s, cats.PROCESSING)

@@ -1,0 +1,273 @@
+"""At-least-once delivery: acker-driven replay of one-to-many tuples.
+
+The :class:`ReplayCoordinator` wires Storm's XOR :class:`~repro.dsps.
+acker.Acker` into the spout's emission path:
+
+* when a spout emits a one-to-many tuple, the coordinator registers a
+  tuple tree with one edge per destination task;
+* each destination task's execution sends an :class:`AckMessage` over the
+  control plane to the acker's machine (real traffic, so ack overhead
+  shows up in the fabric counters);
+* a periodic sweep fails trees older than ``ack_timeout_s`` and replays
+  them from the spout with exponential backoff, up to ``max_replays``
+  attempts.
+
+Replays re-deliver to *every* destination (Storm semantics); the
+set-based metrics trackers (:class:`~repro.dsps.metrics.MulticastTracker`
+/ :class:`~repro.dsps.metrics.CompletionTracker`) count each destination
+once, so duplicates never inflate throughput or shorten latency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.dsps.acker import Acker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dsps.comm import Envelope
+    from repro.dsps.executor import ExecutorBase
+    from repro.dsps.system import DspsSystem
+
+
+@dataclass(frozen=True)
+class AckMessage:
+    """Control-plane payload: destination ``task_id`` executed the tuple
+    rooted at ``root_id``."""
+
+    root_id: int
+    task_id: int
+
+
+@dataclass(frozen=True)
+class CompletionRecord:
+    """One fully-delivered tuple tree."""
+
+    root_id: int
+    completed_at: float
+    registered_at: float
+    attempts: int  # replay attempts before completion (0 = first try)
+
+
+@dataclass
+class _PendingTree:
+    executor: "ExecutorBase"
+    envelope: "Envelope"
+    registered_at: float
+    attempts: int = 0
+    acked_tasks: set = field(default_factory=set)
+
+
+class ReplayCoordinator:
+    """Per-system replay engine (one acker task, Storm-style)."""
+
+    def __init__(self, system: "DspsSystem"):
+        self.system = system
+        self.sim = system.sim
+        cfg = system.config
+        self.config = cfg
+        # The acker task lives with a broadcasting spout (Storm places
+        # ackers as ordinary tasks; co-locating with the source keeps
+        # the register path local while acks travel the real network).
+        # Prefer a spout that actually has a one-to-many edge — side
+        # streams never register trees.
+        broadcasting = [
+            sp
+            for sp in system.spout_executors
+            if any(g.one_to_many for g, _ in sp._groupings.values())
+        ]
+        if broadcasting:
+            self.home_machine = broadcasting[0].machine_id
+        elif system.spout_executors:
+            self.home_machine = system.spout_executors[0].machine_id
+        else:
+            self.home_machine = min(system.workers)
+        seed_stream = system.rng.stream("acker")
+        self.acker = Acker(
+            now_fn=lambda: self.sim.now,
+            timeout_s=cfg.ack_timeout_s,
+            seed=int(seed_stream.integers(0, 2**31)),
+        )
+        self._tree_ids = itertools.count(1)
+        #: acker tree id -> pending bookkeeping.
+        self._pending: Dict[int, _PendingTree] = {}
+        #: (root tuple id, destination task) -> (tree id, edge id).
+        self._edges: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self.registered = 0
+        self.replays = 0
+        self.completions: List[CompletionRecord] = []
+        self.gave_up: List[int] = []
+        system.workers[self.home_machine].add_control_handler(self._on_control)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.sim.process(self._sweep_loop())
+
+    # ------------------------------------------------------------------
+    # spout side
+    # ------------------------------------------------------------------
+    def register(self, executor: "ExecutorBase", env: "Envelope") -> None:
+        """Track one accepted one-to-many spout envelope."""
+        tree_id = next(self._tree_ids)
+        record = _PendingTree(
+            executor=executor, envelope=env, registered_at=self.sim.now
+        )
+        self._pending[tree_id] = record
+        self._register_edges(tree_id, record)
+        self.registered += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "ack.register",
+                self.sim.now,
+                tree=tree_id,
+                root=env.tuple.tuple_id,
+                operator=env.dst_operator,
+                n_dsts=len(env.dst_tasks),
+            )
+
+    def _register_edges(self, tree_id: int, record: _PendingTree) -> None:
+        """(Re-)register the tree: edge 0 spout->acker, one edge per
+        destination task, all alive until each destination acks."""
+        root = record.envelope.tuple.tuple_id
+        edge0 = self.acker.new_edge_id()
+        self.acker.register(tree_id, edge0)
+        task_edges = {
+            task: self.acker.new_edge_id()
+            for task in record.envelope.dst_tasks
+        }
+        self.acker.ack(tree_id, edge0, list(task_edges.values()))
+        for task, edge in task_edges.items():
+            self._edges[(root, task)] = (tree_id, edge)
+
+    # ------------------------------------------------------------------
+    # bolt side
+    # ------------------------------------------------------------------
+    def notify_executed(self, task_id: int, tup) -> None:
+        """Called by every bolt execution; no-op for untracked tuples."""
+        key = (tup.root_id, task_id)
+        entry = self._edges.get(key)
+        if entry is None:
+            return
+        machine = self.system.placement.machine_of[task_id]
+        if self.system.machine_is_crashed(machine):
+            return  # execution raced the crash; the ack dies with it
+        self.sim.process(self._send_ack(machine, key))
+
+    def _send_ack(self, machine: int, key: Tuple[int, int]):
+        root, task = key
+        worker = self.system.workers[machine]
+        yield from self.system.control_send(
+            machine, self.home_machine, AckMessage(root, task), worker.cpu
+        )
+
+    # ------------------------------------------------------------------
+    # acker machine: control-plane delivery
+    # ------------------------------------------------------------------
+    def _on_control(self, payload) -> None:
+        if not isinstance(payload, AckMessage):
+            return
+        entry = self._edges.pop((payload.root_id, payload.task_id), None)
+        if entry is None:
+            return  # duplicate/stale ack
+        tree_id, edge = entry
+        record = self._pending.get(tree_id)
+        if record is not None:
+            record.acked_tasks.add(payload.task_id)
+        outcome = self.acker.ack(tree_id, edge)
+        if outcome is not None and outcome.completed:
+            self._on_complete(tree_id)
+
+    def _on_complete(self, tree_id: int) -> None:
+        record = self._pending.pop(tree_id, None)
+        if record is None:  # pragma: no cover - defensive
+            return
+        root = record.envelope.tuple.tuple_id
+        self.completions.append(
+            CompletionRecord(
+                root_id=root,
+                completed_at=self.sim.now,
+                registered_at=record.registered_at,
+                attempts=record.attempts,
+            )
+        )
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "ack.complete",
+                self.sim.now,
+                root=root,
+                attempts=record.attempts,
+                latency_s=self.sim.now - record.registered_at,
+            )
+
+    # ------------------------------------------------------------------
+    # timeout sweep + replay
+    # ------------------------------------------------------------------
+    def _sweep_loop(self):
+        cfg = self.config
+        while True:
+            yield self.sim.timeout(cfg.ack_sweep_interval_s)
+            for outcome in self.acker.sweep():
+                self._on_timeout(outcome.root_id)
+
+    def _on_timeout(self, tree_id: int) -> None:
+        record = self._pending.get(tree_id)
+        if record is None:  # pragma: no cover - defensive
+            return
+        root = record.envelope.tuple.tuple_id
+        # Retire the stale edges; fresh ones are minted on replay.
+        for task in record.envelope.dst_tasks:
+            entry = self._edges.get((root, task))
+            if entry is not None and entry[0] == tree_id:
+                del self._edges[(root, task)]
+        record.attempts += 1
+        tracer = self.sim.tracer
+        if record.attempts > self.config.max_replays:
+            self._pending.pop(tree_id, None)
+            self.gave_up.append(root)
+            if tracer is not None:
+                tracer.emit(
+                    "fault.replay_give_up",
+                    self.sim.now,
+                    root=root,
+                    attempts=record.attempts - 1,
+                )
+            return
+        backoff = self.config.replay_backoff_base_s * (
+            2 ** (record.attempts - 1)
+        )
+        self.replays += 1
+        if tracer is not None:
+            tracer.emit(
+                "fault.replay",
+                self.sim.now,
+                root=root,
+                attempt=record.attempts,
+                backoff_s=backoff,
+            )
+        self.sim.process(self._replay(tree_id, record, backoff))
+
+    def _replay(self, tree_id: int, record: _PendingTree, backoff: float):
+        if backoff > 0:
+            yield self.sim.timeout(backoff)
+        if tree_id not in self._pending:  # pragma: no cover - defensive
+            return
+        self._register_edges(tree_id, record)
+        # Re-enqueue at the spout; a blocking put applies backpressure
+        # instead of silently dropping the replay when the queue is full.
+        yield record.executor.transfer_queue.put(record.envelope)
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def replayed_completions(self) -> List[CompletionRecord]:
+        return [c for c in self.completions if c.attempts > 0]

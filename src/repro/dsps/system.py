@@ -19,9 +19,11 @@ from repro.dsps.comm import CommEngine, MulticastService
 from repro.dsps.config import SystemConfig
 from repro.dsps.executor import BoltExecutor, ExecutorBase, SpoutExecutor
 from repro.dsps.metrics import MetricsHub
+from repro.dsps.reliability import ReplayCoordinator
 from repro.dsps.scheduler import Placement, schedule
 from repro.dsps.topology import Topology
 from repro.dsps.worker import Worker
+from repro.faults import FaultInjector, FaultSchedule
 from repro.net.cluster import Cluster
 from repro.net.fabric import Fabric
 from repro.net.rdma import RdmaTransport
@@ -46,12 +48,16 @@ class DspsSystem:
         seed: int = 0,
         fabric_options: Optional[Dict] = None,
         tracer=None,
+        fault_schedule: Optional[FaultSchedule] = None,
     ):
         """``fabric_options`` are forwarded to :class:`~repro.net.fabric.
         Fabric` (fault injection: ``loss_probability``; oversubscription:
         ``rack_uplink_bandwidth_bps``).  ``tracer`` is an optional
         :class:`~repro.trace.Tracer` attached to the simulator; with none
-        attached every trace hook is a single attribute check."""
+        attached every trace hook is a single attribute check.
+        ``fault_schedule`` (a :class:`~repro.faults.FaultSchedule`)
+        attaches a :class:`~repro.faults.FaultInjector` that crashes and
+        recovers machines at the scheduled sim times."""
         fabric_options = fabric_options or {}
         self.topology = topology
         self.config = config
@@ -129,10 +135,23 @@ class DspsSystem:
                             worker_level=config.worker_oriented,
                         )
 
+        # --- reliability (at-least-once) -----------------------------------
+        self.reliability: Optional[ReplayCoordinator] = (
+            ReplayCoordinator(self) if config.at_least_once else None
+        )
+
+        # --- fault injection -----------------------------------------------
+        self._crashed: set = set()
+        self.crash_count = 0
+        self.recovery_count = 0
+        self.fault_injector: Optional[FaultInjector] = None
+        self._started = False
+        if fault_schedule is not None:
+            self.add_fault_schedule(fault_schedule)
+
         # --- arrivals --------------------------------------------------------
         if arrivals:
             self.set_arrivals(arrivals)
-        self._started = False
 
     # ------------------------------------------------------------------
     def set_arrivals(self, arrivals: Dict[str, ArrivalFn]) -> None:
@@ -161,6 +180,55 @@ class DspsSystem:
         return list(self._services.values())
 
     # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def add_fault_schedule(self, schedule: FaultSchedule) -> FaultInjector:
+        """Attach (and, if already running, start) a fault injector."""
+        if self.fault_injector is not None:
+            raise RuntimeError("a fault schedule is already attached")
+        self.fault_injector = FaultInjector(self, schedule)
+        if self._started:
+            self.fault_injector.start()
+        return self.fault_injector
+
+    def machine_is_crashed(self, machine_id: int) -> bool:
+        return machine_id in self._crashed
+
+    def crash_machine(self, machine_id: int) -> None:
+        """Fail-stop one machine: freeze its NIC, drop its in-flight
+        deliveries, reset its transport state, halt its processes."""
+        if machine_id in self._crashed:
+            raise RuntimeError(f"machine {machine_id} is already crashed")
+        if machine_id not in self.workers:
+            raise KeyError(f"unknown machine {machine_id}")
+        self._crashed.add(machine_id)
+        self.crash_count += 1
+        self.fabric.set_machine_up(machine_id, False)
+        self.transport.on_machine_crash(machine_id)
+        self.workers[machine_id].on_crash()
+        for ex in self.executors.values():
+            if ex.machine_id == machine_id:
+                ex.halt()
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit("fault.crash", self.sim.now, machine=machine_id)
+
+    def recover_machine(self, machine_id: int) -> None:
+        """Bring a crashed machine back (empty queues, fresh state)."""
+        if machine_id not in self._crashed:
+            raise RuntimeError(f"machine {machine_id} is not crashed")
+        self._crashed.discard(machine_id)
+        self.recovery_count += 1
+        self.fabric.set_machine_up(machine_id, True)
+        self.workers[machine_id].on_recover()
+        for ex in self.executors.values():
+            if ex.machine_id == machine_id:
+                ex.resume_from_crash()
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit("fault.recover", self.sim.now, machine=machine_id)
+
+    # ------------------------------------------------------------------
     def start(self) -> None:
         """Launch every worker and executor process."""
         if self._started:
@@ -170,6 +238,10 @@ class DspsSystem:
             worker.start()
         for ex in self.executors.values():
             ex.start()
+        if self.reliability is not None:
+            self.reliability.start()
+        if self.fault_injector is not None:
+            self.fault_injector.start()
 
     def run_measured(self, warmup_s: float, measure_s: float) -> MetricsHub:
         """Run warmup, then a measurement window; return the metrics hub."""

@@ -6,11 +6,17 @@ RDMA completion), then let the packet deliver itself — deserialization,
 local dispatch to executor incoming-queues, and (for multicast packets)
 relaying to cascading endpoints all run on this thread, exactly like the
 "specialized receiving thread" + dispatcher of Section 4.
+
+Control-plane packets (``kind="control"``) are fanned out to registered
+handlers (the multicast controller, the replay coordinator).  Heartbeat
+pings are answered by the worker itself, so liveness reflects the
+machine, not any single component.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List
 
 from repro.dsps.tuples import AddressedTuple
 from repro.net import cpu as cats
@@ -19,6 +25,22 @@ from repro.net.cpu import CpuAccount
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dsps.executor import BoltExecutor
     from repro.dsps.system import DspsSystem
+
+
+@dataclass(frozen=True)
+class HeartbeatPing:
+    """Liveness probe from a failure detector to a worker machine."""
+
+    reply_to: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class HeartbeatAck:
+    """A worker's reply to a :class:`HeartbeatPing`."""
+
+    machine: int
+    seq: int
 
 
 class Worker:
@@ -32,13 +54,33 @@ class Worker:
         self.inbox = system.transport.bind_inbox(machine_id)
         #: local task id -> executor (filled by the system during build).
         self.executors: Dict[int, "BoltExecutor"] = {}
-        #: handler for control-plane packets (set by the Whale controller).
-        self.control_handler: Optional[Callable] = None
+        #: handlers for control-plane packets (controller, acker, ...);
+        #: every handler sees every control payload and filters by type.
+        self._control_handlers: List[Callable] = []
+        #: True while this machine is crashed.
+        self.crashed = False
         self.messages_received = 0
         self.dispatched = 0
+        self.heartbeats_answered = 0
 
     def start(self) -> None:
         self.sim.process(self._receive_loop())
+
+    # ------------------------------------------------------------------
+    def add_control_handler(self, handler: Callable) -> None:
+        """Register a control-plane payload handler."""
+        self._control_handlers.append(handler)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """Machine crash: everything buffered in this process is lost."""
+        self.crashed = True
+        self.inbox.clear()
+
+    def on_recover(self) -> None:
+        self.crashed = False
 
     # ------------------------------------------------------------------
     def dispatch_local(self, at: AddressedTuple) -> None:
@@ -66,12 +108,28 @@ class Worker:
     def _receive_loop(self):
         while True:
             msg = yield self.inbox.get()
+            if self.crashed:
+                continue  # raced the crash; the fabric drops the rest
             self.messages_received += 1
             if msg.recv_cpu_s > 0:
                 yield from self.cpu.work(msg.recv_cpu_s, cats.NETWORK)
             payload = msg.payload
             if msg.kind == "control":
-                if self.control_handler is not None:
-                    self.control_handler(payload)
+                if isinstance(payload, HeartbeatPing):
+                    self.sim.process(self._answer_heartbeat(payload))
+                else:
+                    for handler in self._control_handlers:
+                        handler(payload)
                 continue
             yield from payload.deliver(self)
+
+    def _answer_heartbeat(self, ping: HeartbeatPing):
+        if self.crashed:
+            return
+        self.heartbeats_answered += 1
+        yield from self.system.control_send(
+            self.machine_id,
+            ping.reply_to,
+            HeartbeatAck(machine=self.machine_id, seq=ping.seq),
+            self.cpu,
+        )

@@ -1,0 +1,18 @@
+"""Fault injection: deterministic crash/recovery and link-flap schedules.
+
+* :mod:`repro.faults.schedule` — :class:`FaultEvent` / :class:`FaultSchedule`,
+  a validated, time-ordered list of machine crashes, recoveries and link
+  flaps, with a seedable random generator for stress runs.
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the simulated
+  process that applies a schedule to a running
+  :class:`~repro.dsps.system.DspsSystem`.
+
+Because the schedule is data (not callbacks) and the only randomness is
+the seeded generator, two runs with the same seeds produce bit-identical
+fault timelines — the property the recovery experiments depend on.
+"""
+
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.faults.injector import FaultInjector
+
+__all__ = ["FaultEvent", "FaultInjector", "FaultSchedule"]

@@ -42,6 +42,8 @@ from repro.multicast.switching import (
     RewireOp,
     SwitchPlan,
     apply_plan,
+    plan_reattach,
+    plan_repair,
     plan_switch,
 )
 from repro.multicast.analysis import (
@@ -82,6 +84,8 @@ __all__ = [
     "max_out_degree",
     "max_out_degree_paper_eq3",
     "nonblocking_source_degree",
+    "plan_reattach",
+    "plan_repair",
     "plan_switch",
     "processing_rate",
     "processing_rate_worker_oriented",

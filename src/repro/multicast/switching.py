@@ -44,7 +44,7 @@ class ControlMessage:
     two affected endpoints to disconnect/establish an RDMA channel.
     """
 
-    status: Literal["scale_down", "scale_up"]
+    status: Literal["scale_down", "scale_up", "repair", "reattach"]
     op: RewireOp
 
 
@@ -52,7 +52,7 @@ class ControlMessage:
 class SwitchPlan:
     """A complete structure adjustment."""
 
-    status: Literal["scale_down", "scale_up", "noop"]
+    status: Literal["scale_down", "scale_up", "noop", "repair", "reattach"]
     d_star: int
     ops: List[RewireOp] = field(default_factory=list)
 
@@ -116,6 +116,58 @@ def apply_plan(
             )
 
 
+def plan_repair(
+    tree: MulticastTree, failed: Node, d_star: int
+) -> Tuple[MulticastTree, SwitchPlan]:
+    """Excise a failed relay and reattach its orphaned subtrees.
+
+    Every child of ``failed`` is moved (with its whole subtree) to the
+    first BFS position with spare out-degree — the same first-open-slot
+    rule Section 3.4's scale-down uses — never choosing the failed node
+    itself.  The failed node is then removed from the tree.  The input
+    tree is not modified; the repaired copy is returned with the plan.
+    """
+    if failed == tree.root:
+        raise TreeError("cannot repair away the root (source) node")
+    if failed not in tree:
+        raise TreeError(f"failed node {failed!r} not in tree")
+    work = tree.copy()
+    ops: List[RewireOp] = []
+    banned = {failed}
+    for child in work.children(failed):
+        new_parent = _first_open_slot(
+            work, d_star, exclude_subtree_of=child, banned=banned
+        )
+        if new_parent is None:  # pragma: no cover - tree always has room
+            raise TreeError(
+                f"no position with out-degree < {d_star} available"
+            )
+        ops.append(RewireOp(child, failed, new_parent))
+        work.move(child, new_parent)
+    work.remove_leaf(failed)
+    work.validate()
+    return work, SwitchPlan(status="repair", d_star=d_star, ops=ops)
+
+
+def plan_reattach(
+    tree: MulticastTree, node: Node, d_star: int
+) -> Tuple[MulticastTree, SwitchPlan]:
+    """Re-admit a recovered node as a leaf at the first open slot."""
+    if node in tree:
+        raise TreeError(f"node {node!r} already in tree")
+    work = tree.copy()
+    new_parent = _first_open_slot(work, d_star)
+    if new_parent is None:  # pragma: no cover - root always exists
+        raise TreeError(f"no position with out-degree < {d_star} available")
+    work.add(node, new_parent)
+    work.validate()
+    return work, SwitchPlan(
+        status="reattach",
+        d_star=d_star,
+        ops=[RewireOp(node, node, new_parent)],
+    )
+
+
 # ----------------------------------------------------------------------
 # negative scale-down
 # ----------------------------------------------------------------------
@@ -152,16 +204,21 @@ def _first_open_slot(
     tree: MulticastTree,
     d_star: int,
     exclude_subtree_of: Optional[Node] = None,
+    banned: Optional[set] = None,
 ) -> Optional[Node]:
     """First node in BFS order with out-degree below ``d*``.
 
-    Excludes the subtree being moved (attaching there would form a cycle).
+    Excludes the subtree being moved (attaching there would form a cycle)
+    and any explicitly ``banned`` nodes (e.g. a failed relay during
+    repair).
     """
     excluded = (
         set(tree.subtree_nodes(exclude_subtree_of))
         if exclude_subtree_of is not None
         else set()
     )
+    if banned:
+        excluded |= banned
     for node in tree.bfs():
         if node in excluded:
             continue

@@ -84,6 +84,22 @@ class MulticastTree:
         self._parent[node] = new_parent
         self._relayer(node, self._layer[new_parent] + 1)
 
+    def remove_leaf(self, node: Node) -> None:
+        """Detach a childless node from the tree (failure repair: a dead
+        node is removed once its subtrees have been moved elsewhere)."""
+        if node == self.root:
+            raise TreeError("cannot remove the root")
+        if node not in self._children:
+            raise TreeError(f"node {node!r} not in tree")
+        if self._children[node]:
+            raise TreeError(
+                f"node {node!r} still has children; move them first"
+            )
+        parent = self._parent.pop(node)
+        self._children[parent].remove(node)
+        del self._children[node]
+        del self._layer[node]
+
     def _relayer(self, node: Node, layer: int) -> None:
         self._layer[node] = layer
         for child in self._children[node]:

@@ -121,6 +121,18 @@ class Channel:
         yield from self.manager._transmit(self.peer_machine, frame, 32, cpu)
         self.manager._forget(self.channel_id)
 
+    def abort(self) -> None:
+        """Tear down this endpoint without a FIN round-trip.
+
+        Used when the peer is crashed or suspected: a FIN to a dead
+        machine would never be acknowledged, so the local state is
+        discarded immediately.
+        """
+        if not self._open:
+            return
+        self._open = False
+        self.manager._forget(self.channel_id)
+
     # ------------------------------------------------------------------
     def _deliver(self, frame: _Frame, nbytes_hint: int = 0) -> None:
         self.stats.messages_received += 1
@@ -200,6 +212,17 @@ class ChannelManager:
 
     def channel(self, channel_id: int) -> Optional[Channel]:
         return self._channels.get(channel_id)
+
+    def disconnect_peer(self, peer_machine: int) -> int:
+        """Abort every channel to ``peer_machine`` (crash/suspicion
+        handling); returns how many were torn down."""
+        doomed = [
+            ch for ch in self._channels.values()
+            if ch.peer_machine == peer_machine
+        ]
+        for ch in doomed:
+            ch.abort()
+        return len(doomed)
 
     # ------------------------------------------------------------------
     def _transmit(self, dst_machine: int, frame: _Frame, nbytes: int, cpu) -> Iterator:

@@ -36,6 +36,7 @@ class NicPort:
         self._egress: Store = Store(sim)
         self.bytes_sent = 0
         self.messages_sent = 0
+        self._resume = None  # event set while the machine is crashed
         sim.process(self._drain())
 
     def enqueue(self, msg: WireMessage) -> None:
@@ -47,9 +48,32 @@ class NicPort:
     def backlog(self) -> int:
         return self._egress.level
 
+    def pause(self) -> list:
+        """Crash: stop draining and drop the queued backlog (returned)."""
+        if self._resume is None:
+            self._resume = self.sim.event()
+        return self._egress.clear()
+
+    def resume(self) -> list:
+        """Recover: drop anything queued during the outage, resume
+        draining."""
+        stale = self._egress.clear()
+        if self._resume is not None:
+            resume, self._resume = self._resume, None
+            resume.succeed()
+        return stale
+
+    @property
+    def paused(self) -> bool:
+        return self._resume is not None
+
     def _drain(self):
         while True:
             msg = yield self._egress.get()
+            if self._resume is not None:
+                # Crashed: the NIC eats anything handed to it.
+                self.fabric._drop_dead(msg, "crash_egress")
+                continue
             # Occupy the link for the transmission time...
             tx = msg.size_bytes * 8.0 / self.fabric.bandwidth_bps
             if tx > 0:
@@ -147,6 +171,11 @@ class Fabric:
         self._receivers: Dict[int, Receiver] = {}
         self.bytes_by_kind: Dict[str, int] = defaultdict(int)
         self.messages_delivered = 0
+        #: messages that could not be delivered (crashed/unbound receiver,
+        #: downed link, crashed sender NIC) — the dead-letter counter.
+        self.messages_dead = 0
+        self._machine_down: set = set()
+        self._links_down: set = set()  # frozenset({a, b}) per downed link
 
     # ------------------------------------------------------------------
     def bind(self, machine_id: int, receiver: Receiver) -> None:
@@ -173,6 +202,61 @@ class Fabric:
         return self.base_latency_s + hops * self.rack_hop_latency_s
 
     # ------------------------------------------------------------------
+    # fault state (driven by the FaultInjector / DspsSystem)
+    # ------------------------------------------------------------------
+    def machine_is_up(self, machine_id: int) -> bool:
+        return machine_id not in self._machine_down
+
+    def set_machine_up(self, machine_id: int, up: bool) -> None:
+        """Crash (``up=False``) or recover a machine's fabric presence.
+
+        A crashed machine's NIC stops draining its egress (the queued
+        backlog is dropped dead), and deliveries addressed to it vanish.
+        """
+        port = self.ports[machine_id]
+        if not up:
+            self._machine_down.add(machine_id)
+            for msg in port.pause():
+                self._drop_dead(msg, "crash_egress")
+        else:
+            self._machine_down.discard(machine_id)
+            for msg in port.resume():
+                self._drop_dead(msg, "crash_egress")
+
+    def link_is_up(self, a: int, b: int) -> bool:
+        return frozenset((a, b)) not in self._links_down
+
+    def set_link_up(self, a: int, b: int, up: bool) -> None:
+        """Flap the (undirected) link between two machines."""
+        if a == b:
+            raise ValueError("a machine has no link to itself")
+        key = frozenset((a, b))
+        if up:
+            self._links_down.discard(key)
+        else:
+            self._links_down.add(key)
+
+    def _drop_dead(self, msg: WireMessage, reason: str) -> None:
+        """Count one undeliverable message and recycle its resources."""
+        self.messages_dead += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "net.dead",
+                self.sim.now,
+                fabric=self.name,
+                src=msg.src_machine,
+                dst=msg.dst_machine,
+                msg_kind=msg.kind,
+                bytes=msg.size_bytes,
+                reason=reason,
+            )
+        if msg.on_delivered is not None:
+            # Ring regions must be recycled even for dead letters.
+            msg.on_delivered(msg)
+            msg.on_delivered = None
+
+    # ------------------------------------------------------------------
     def _propagate(self, msg: WireMessage) -> None:
         if self._loss_rng is not None and (
             self._loss_rng.random() < self.loss_probability
@@ -197,6 +281,10 @@ class Fabric:
                 msg.on_delivered(msg)
                 msg.on_delivered = None
             return
+        if frozenset((msg.src_machine, msg.dst_machine)) in self._links_down:
+            # Link flap: the message falls off a dead link.
+            self._drop_dead(msg, "link_down")
+            return
         # Oversubscribed core: cross-rack traffic transits the source
         # rack's uplink before propagating.
         if self.uplinks and self.cluster.rack_hops(
@@ -212,6 +300,16 @@ class Fabric:
         ev.callbacks.append(lambda _e: self._deliver(msg))
 
     def _deliver(self, msg: WireMessage) -> None:
+        if msg.dst_machine in self._machine_down:
+            # The destination crashed while the message was in flight.
+            self._drop_dead(msg, "machine_down")
+            return
+        receiver = self._receivers.get(msg.dst_machine)
+        if receiver is None:
+            # A dead letter, not a simulator bug: fault runs legitimately
+            # deliver to machines whose receiver never bound (or unbound).
+            self._drop_dead(msg, "unbound")
+            return
         self.bytes_by_kind[msg.kind] += msg.size_bytes
         self.messages_delivered += 1
         tracer = self.sim.tracer
@@ -227,12 +325,6 @@ class Fabric:
             )
         if msg.on_delivered is not None:
             msg.on_delivered(msg)
-        receiver = self._receivers.get(msg.dst_machine)
-        if receiver is None:
-            raise LookupError(
-                f"no receiver bound for machine {msg.dst_machine} on "
-                f"fabric {self.name!r}"
-            )
         receiver(msg)
 
     # ------------------------------------------------------------------

@@ -117,10 +117,35 @@ class RdmaTransport:
         self._profiles: Dict[Verb, VerbProfile] = {
             v: VerbProfile.from_costs(costs, v) for v in Verb
         }
+        #: machines currently reached via the TCP degraded path.
+        self._degraded: set = set()
 
     # ------------------------------------------------------------------
     def profile(self, verb: Verb) -> VerbProfile:
         return self._profiles[verb]
+
+    # ------------------------------------------------------------------
+    # degraded mode (failure suspicion) + crash handling
+    # ------------------------------------------------------------------
+    def set_degraded(self, machine_id: int, degraded: bool) -> None:
+        """Toggle the RDMA->TCP fallback for one peer.
+
+        While a peer is suspected its RDMA channel state (queue pairs,
+        ring addresses) cannot be trusted, so traffic to it falls back to
+        the kernel TCP path: full kernel send/recv CPU, no ring memory
+        region, no RNIC work-request pipeline.  Reverted on recovery.
+        """
+        if degraded:
+            self._degraded.add(machine_id)
+        else:
+            self._degraded.discard(machine_id)
+
+    def is_degraded(self, machine_id: int) -> bool:
+        return machine_id in self._degraded
+
+    def on_machine_crash(self, machine_id: int) -> None:
+        """Reset the crashed machine's RNIC (WR queue + ring)."""
+        self.rnics[machine_id].reset()
 
     def bind_inbox(self, machine_id: int) -> Store:
         """Create (once) and return the delivery inbox for a machine."""
@@ -149,6 +174,14 @@ class RdmaTransport:
         """
         if verb is None:
             verb = self.data_verb if kind == "data" else self.control_verb
+        if (
+            src_machine != dst_machine
+            and (dst_machine in self._degraded or src_machine in self._degraded)
+        ):
+            msg = yield from self._send_degraded(
+                src_machine, dst_machine, payload, size_bytes, cpu, kind
+            )
+            return msg
         prof = self._profiles[verb]
         yield from cpu.work(prof.sender_cpu_s, cpu_categories.RDMA_POST)
         tracer = self.sim.tracer
@@ -181,4 +214,39 @@ class RdmaTransport:
             yield rnic.ring.alloc(size_bytes)
             ring_bytes = size_bytes
         yield rnic.post(WorkRequest(msg, ring_bytes=ring_bytes))
+        return msg
+
+    def _send_degraded(
+        self,
+        src_machine: int,
+        dst_machine: int,
+        payload: Any,
+        size_bytes: int,
+        cpu: CpuAccount,
+        kind: str,
+    ) -> Iterator:
+        """TCP fallback path for suspected peers: kernel-stack CPU on
+        both sides, straight onto the wire (no ring, no RNIC queue)."""
+        yield from cpu.work(self.costs.tcp_send_cpu_s, cpu_categories.NETWORK)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "net.post",
+                self.sim.now,
+                transport=self.name,
+                verb="tcp-fallback",
+                src=src_machine,
+                dst=dst_machine,
+                msg_kind=kind,
+                bytes=size_bytes,
+            )
+        msg = WireMessage(
+            payload=payload,
+            size_bytes=size_bytes,
+            src_machine=src_machine,
+            dst_machine=dst_machine,
+            kind=kind,
+            recv_cpu_s=self.costs.tcp_recv_cpu_s,
+        )
+        self.fabric.send(msg)
         return msg

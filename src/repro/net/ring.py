@@ -50,6 +50,11 @@ class RingMemoryRegion:
     def free_bytes(self) -> int:
         return self.capacity_bytes - self._used
 
+    @property
+    def outstanding(self) -> int:
+        """Number of allocated-but-not-yet-freed regions."""
+        return len(self._regions)
+
     # ------------------------------------------------------------------
     def alloc(self, nbytes: int) -> Event:
         """Reserve ``nbytes``; the event triggers when space is available."""
@@ -68,6 +73,22 @@ class RingMemoryRegion:
             self.alloc_stalls += 1
             self._waiters.append((ev, nbytes))
         return ev
+
+    def reset(self) -> None:
+        """Forget every outstanding region (fault injection: the RNIC of
+        a crashed machine re-registers its ring from scratch).
+
+        Waiting allocators are admitted against the now-empty ring.
+        """
+        self._regions.clear()
+        self._used = 0
+        while self._waiters:
+            ev, want = self._waiters[0]
+            if self._used + want > self.capacity_bytes:
+                break
+            self._waiters.popleft()
+            self._grant(want)
+            ev.succeed()
 
     def free_oldest(self) -> int:
         """Release the oldest outstanding region; returns its size."""

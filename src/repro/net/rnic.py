@@ -66,6 +66,17 @@ class Rnic:
     def queue_depth(self) -> int:
         return self._wr_queue.level
 
+    def reset(self) -> int:
+        """Crash handling: drop queued work requests and re-register the
+        ring from scratch.  Returns the number of dropped WRs."""
+        dropped = self._wr_queue.clear()
+        for wr in dropped:
+            # The message will never reach the fabric; its ring region is
+            # forgotten wholesale by ring.reset() below.
+            wr.message.on_delivered = None
+        self.ring.reset()
+        return len(dropped)
+
     # ------------------------------------------------------------------
     def _service_loop(self):
         while True:
@@ -77,4 +88,7 @@ class Rnic:
             self.wrs_completed += 1
 
     def _recycle(self, _msg: WireMessage) -> None:
-        self.ring.free_oldest()
+        if self.ring.outstanding:
+            # Zero outstanding regions happen only after a crash reset()
+            # forgot the in-flight message's region wholesale.
+            self.ring.free_oldest()

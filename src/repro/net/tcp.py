@@ -33,6 +33,19 @@ class TcpTransport:
         self._inboxes: Dict[int, Store] = {}
 
     # ------------------------------------------------------------------
+    # fault-handling API parity with RdmaTransport
+    # ------------------------------------------------------------------
+    def set_degraded(self, machine_id: int, degraded: bool) -> None:
+        """No-op: TCP *is* the degraded mode the RDMA transport falls
+        back to, so suspicion changes nothing on this transport."""
+
+    def is_degraded(self, machine_id: int) -> bool:
+        return False
+
+    def on_machine_crash(self, machine_id: int) -> None:
+        """No per-machine sender state to reset on the TCP transport."""
+
+    # ------------------------------------------------------------------
     def bind_inbox(self, machine_id: int) -> Store:
         """Create (once) and return the delivery inbox for a machine."""
         inbox = self._inboxes.get(machine_id)

@@ -78,6 +78,23 @@ class Store:
             return True, self._release()
         return False, None
 
+    def clear(self) -> list:
+        """Drop every buffered item (fault injection: a crashed machine
+        loses its queues); returns the dropped items.
+
+        Pending blocked putters are unblocked and their items dropped too
+        — from the sender's view the item was accepted and then lost,
+        exactly like handing a message to a NIC that dies.  Blocked
+        getters stay blocked (the queue is now empty).
+        """
+        dropped = list(self.items)
+        self.items.clear()
+        while self._putters:
+            ev, pending = self._putters.popleft()
+            dropped.append(pending)
+            ev.succeed()
+        return dropped
+
     # ------------------------------------------------------------------
     # hooks for subclasses (stats collection)
     # ------------------------------------------------------------------

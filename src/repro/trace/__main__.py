@@ -5,6 +5,7 @@ Usage::
     python -m repro.trace RUN.jsonl              # full digest
     python -m repro.trace RUN.jsonl --tuple 17   # one tuple's lifecycle
     python -m repro.trace RUN.jsonl --rewires    # rewire audit log only
+    python -m repro.trace RUN.jsonl --faults     # fault/recovery digest
 """
 
 from __future__ import annotations
@@ -14,7 +15,13 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.trace.summary import load_trace, render, render_tuple, summarize
+from repro.trace.summary import (
+    load_trace,
+    render,
+    render_faults,
+    render_tuple,
+    summarize,
+)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -35,6 +42,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="print only the rewire audit log",
     )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="print only the fault/recovery digest",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -50,6 +62,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     summary = summarize(records, manifest)
     if args.tuple is not None:
         print(render_tuple(summary, records, args.tuple))
+    elif args.faults:
+        print(render_faults(summary))
     elif args.rewires:
         for op in summary.rewires:
             print(

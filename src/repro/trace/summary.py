@@ -70,6 +70,27 @@ class TraceSummary:
     replayed: ReplayResult
     time_range: Tuple[float, float] = (0.0, 0.0)
     complete_spans: List[TupleSpan] = field(default_factory=list)
+    #: every ``fault.*`` record, in stream order.
+    faults: List[Dict[str, Any]] = field(default_factory=list)
+    #: every ``switch.repair`` record (tree self-healing audit log).
+    repair_ops: List[Dict[str, Any]] = field(default_factory=list)
+
+    def fault_timeline(self) -> List[Tuple[float, str, Any]]:
+        """(t, event, target) rows for crash/recovery/suspicion events."""
+        rows: List[Tuple[float, str, Any]] = []
+        for rec in self.faults:
+            event = rec["kind"].split(".", 1)[1]
+            target = rec.get("machine")
+            if target is None and "machine_a" in rec:
+                target = (rec["machine_a"], rec["machine_b"])
+            if target is None:
+                target = rec.get("root")
+            rows.append((rec.get("t", 0.0), event, target))
+        return rows
+
+    def repair_op_counts(self) -> Counter:
+        """Repair rewires by direction (``repair`` vs ``reattach``)."""
+        return Counter(op.get("direction") for op in self.repair_ops)
 
 
 def summarize(
@@ -82,6 +103,8 @@ def summarize(
     decisions: List[Dict[str, Any]] = []
     switches: List[Dict[str, Any]] = []
     rewires: List[Dict[str, Any]] = []
+    faults: List[Dict[str, Any]] = []
+    repair_ops: List[Dict[str, Any]] = []
     t_min, t_max = float("inf"), float("-inf")
     for rec in records:
         t = rec.get("t", 0.0)
@@ -116,6 +139,10 @@ def summarize(
             switches.append(rec)
         elif kind == "switch.rewire":
             rewires.append(rec)
+        elif kind == "switch.repair":
+            repair_ops.append(rec)
+        elif kind.startswith("fault."):
+            faults.append(rec)
     if t_min > t_max:
         t_min = t_max = 0.0
     summary = TraceSummary(
@@ -127,6 +154,8 @@ def summarize(
         rewires=rewires,
         replayed=replay(records),
         time_range=(t_min, t_max),
+        faults=faults,
+        repair_ops=repair_ops,
     )
     summary.complete_spans = [
         s for s in spans.values() if s.multicast_latency is not None
@@ -217,6 +246,52 @@ def render(summary: TraceSummary) -> str:
         lines.append(
             f"    t={op['t']:.4f}s  rewire {op.get('node')}: "
             f"{op.get('old_parent')} -> {op.get('new_parent')}"
+        )
+
+    if summary.faults or summary.repair_ops:
+        lines.append("")
+        lines.append(render_faults(summary))
+    return "\n".join(lines)
+
+
+def render_faults(summary: TraceSummary) -> str:
+    """Fault/recovery digest: crash timeline + repair op counts."""
+    lines: List[str] = []
+    events = Counter(rec["kind"] for rec in summary.faults)
+    lines.append(
+        f"faults: {sum(events.values())} events, "
+        f"{len(summary.repair_ops)} repair ops"
+    )
+    for kind, n in sorted(events.items()):
+        lines.append(f"  {kind:<22} {n}")
+    lines.append("  timeline:")
+    for t, event, target in summary.fault_timeline():
+        # Replays are summarized at the end; listing each would swamp
+        # the crash/recovery story.
+        if event.startswith("replay"):
+            continue
+        lines.append(f"    t={t:.4f}s  {event:<16} {target}")
+    counts = summary.repair_op_counts()
+    if counts:
+        lines.append(
+            "  repair rewires: "
+            + "  ".join(f"{d}: {n}" for d, n in sorted(counts.items()))
+        )
+    for op in summary.repair_ops:
+        lines.append(
+            f"    t={op['t']:.4f}s  {op.get('direction')}  "
+            f"endpoint={op.get('endpoint')}  {op.get('node')}: "
+            f"{op.get('old_parent')} -> {op.get('new_parent')}"
+        )
+    replays = [r for r in summary.faults if r["kind"] == "fault.replay"]
+    gave_up = [
+        r for r in summary.faults if r["kind"] == "fault.replay_give_up"
+    ]
+    if replays or gave_up:
+        lines.append(
+            f"  replays: {len(replays)} attempts over "
+            f"{len({r.get('root') for r in replays})} roots, "
+            f"{len(gave_up)} gave up"
         )
     return "\n".join(lines)
 

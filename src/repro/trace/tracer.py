@@ -35,6 +35,8 @@ ALL_CATEGORIES = frozenset(
         "monitor",
         "controller",
         "switch",
+        "fault",
+        "ack",
     }
 )
 

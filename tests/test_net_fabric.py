@@ -97,12 +97,13 @@ def test_fabric_rack_hop_latency():
     assert fabric.latency(0, 1) == pytest.approx(10.5e-6)
 
 
-def test_fabric_unbound_receiver_raises():
+def test_fabric_unbound_receiver_counted_as_dead():
     sim = Simulator()
     fabric = make_fabric(sim)
     fabric.send(WireMessage(payload=None, size_bytes=1, src_machine=0, dst_machine=3))
-    with pytest.raises(LookupError):
-        sim.run()
+    sim.run()
+    assert fabric.messages_dead == 1
+    assert fabric.messages_delivered == 0
 
 
 def test_fabric_double_bind_rejected():
