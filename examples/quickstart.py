@@ -57,7 +57,7 @@ def build_topology() -> Topology:
     return topo
 
 
-def measure(config, trace_path=None):
+def measure(config, trace_path=None, check=None):
     tracer = None
     if trace_path is not None:
         from repro.trace import JsonlTracer, run_manifest
@@ -76,8 +76,10 @@ def measure(config, trace_path=None):
         arrivals={"sensors": PoissonArrivals(RATE, np.random.default_rng(1))},
         tracer=tracer,
     )
+    checker = system.attach_checker(mode=check) if check else None
     try:
         metrics = system.run_measured(warmup_s=0.3, measure_s=1.0)
+        report = checker.finalize() if checker is not None else None
     finally:
         if tracer is not None:
             tracer.close()
@@ -88,6 +90,7 @@ def measure(config, trace_path=None):
         "multicast_ms": 1e3 * metrics.multicast.summary().p50,
         "source_cpu": source.cpu.utilization(),
         "traffic_MB": system.traffic_bytes("data") / 1e6,
+        "check": report.summary() if report is not None else None,
     }
 
 
@@ -98,18 +101,25 @@ def main():
         help="record a JSONL trace of the Whale run to PATH "
         "(inspect with: python -m repro.trace PATH)",
     )
+    parser.add_argument(
+        "--check", choices=("strict", "warn"), default=None,
+        help="attach the runtime invariant checker to every run "
+        "(see TESTING.md for the invariant catalog)",
+    )
     args = parser.parse_args()
     print(f"broadcasting {RATE:.0f} tuples/s to {PARALLELISM} instances "
           f"on {MACHINES} machines\n")
     for config in (storm_config(), whale_full_config()):
         trace = args.trace if config.name == "whale" else None
-        r = measure(config, trace_path=trace)
+        r = measure(config, trace_path=trace, check=args.check)
         print(f"[{config.name}]")
         print(f"  throughput          {r['throughput']:10.0f} tuples/s")
         print(f"  processing latency  {r['latency_ms']:10.2f} ms (p50)")
         print(f"  multicast latency   {r['multicast_ms']:10.2f} ms (p50)")
         print(f"  source CPU util     {r['source_cpu']:10.2f}")
         print(f"  data traffic        {r['traffic_MB']:10.2f} MB")
+        if r["check"]:
+            print(f"  {r['check']}")
         print()
     print("Storm serializes and transmits the tuple once per destination")
     print("instance; Whale serializes once per worker and relays through")

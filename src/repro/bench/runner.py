@@ -90,6 +90,8 @@ class AppRun:
     source_queue_load: float = 0.0
     #: path of the JSONL trace captured for this point (``--trace``)
     trace_path: Optional[str] = None
+    #: invariant-check report when the run was checked (``--check``)
+    check_report: Optional[object] = field(default=None, repr=False)
     #: kept for experiments that need deeper inspection
     system: Optional[DspsSystem] = field(default=None, repr=False)
 
@@ -116,6 +118,7 @@ def run_app(
     fabric_options: Optional[Dict] = None,
     trace_path: Optional[str] = None,
     fault_schedule=None,
+    check: Optional[str] = None,
 ) -> AppRun:
     """Measure one (app, variant, parallelism) point.
 
@@ -123,7 +126,9 @@ def run_app(
     manifest carrying config/seed/git rev) to that file; summarize it
     with ``python -m repro.trace PATH``.  ``fault_schedule`` (a
     :class:`~repro.faults.FaultSchedule`) injects machine crashes and
-    recoveries at the scheduled sim times.
+    recoveries at the scheduled sim times.  ``check`` attaches a runtime
+    :class:`~repro.check.InvariantChecker` (``"strict"`` raises on the
+    first breach, ``"warn"`` collects into ``AppRun.check_report``).
     """
     if app == "ridehailing":
         topology = ride_hailing_topology(
@@ -181,6 +186,7 @@ def run_app(
             tracer=tracer,
             fault_schedule=fault_schedule,
         )
+        checker = system.attach_checker(mode=check) if check else None
         measure_s = min(2.0, max(0.1, tuple_budget / offered_rate))
         warmup_s = min(0.5, max(0.05, 0.3 * measure_s))
         # Reset traffic counters after warmup by snapshotting.
@@ -206,6 +212,7 @@ def run_app(
         system.metrics.open_window()
         system.sim.run(until=warmup_s + measure_s)
         system.metrics.close_window()
+        check_report = checker.finalize() if checker is not None else None
         metrics = system.metrics
     finally:
         if tracer is not None:
@@ -247,6 +254,7 @@ def run_app(
             / config.transfer_queue_capacity
         ),
         trace_path=trace_path,
+        check_report=check_report,
         system=system if keep_system else None,
     )
     return run
@@ -321,7 +329,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--trace", metavar="PATH", default=None,
         help="write a JSONL run trace to PATH"
     )
+    parser.add_argument(
+        "--check", choices=("strict", "warn"), default=None,
+        help="attach the runtime invariant checker (strict raises on the "
+        "first violation; warn collects a report)"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="shrink the point to a seconds-scale self-validation run "
+        "(parallelism 4, 4 machines, 120 tuples)"
+    )
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.parallelism = min(args.parallelism, 4)
+        args.machines = min(args.machines, 4)
+        args.tuples = min(args.tuples, 120)
 
     run = run_app(
         args.app,
@@ -332,6 +355,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         tuple_budget=args.tuples,
         seed=args.seed,
         trace_path=args.trace,
+        check=args.check,
     )
     print(f"{run.app} / {run.variant} / k={run.parallelism}")
     print(f"  offered rate       {run.offered_rate:12.1f} tuples/s")
@@ -346,6 +370,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace:
         print(f"  trace              {args.trace}"
               f"  (summarize: python -m repro.trace {args.trace})")
+    if run.check_report is not None:
+        print(f"  {run.check_report.summary()}")
+        if not run.check_report.ok:
+            return 1
     return 0
 
 

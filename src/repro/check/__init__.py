@@ -1,0 +1,36 @@
+"""Runtime invariant checking for simulated runs.
+
+The checker piggy-backs on the trace-hook architecture: attach it to a
+system (``system.attach_checker()`` or :class:`InvariantChecker`
+directly) and every trace record doubles as a check point.  See
+``TESTING.md`` for the invariant catalog and the testing recipes built
+on top (property-based fuzzing, differential Whale-vs-baseline runs).
+"""
+
+from repro.check.checker import (
+    LIFECYCLE_KINDS,
+    CheckReport,
+    InvariantChecker,
+)
+from repro.check.invariants import (
+    REGISTRY,
+    CheckContext,
+    Invariant,
+    InvariantViolation,
+    Violation,
+    default_invariants,
+    invariant,
+)
+
+__all__ = [
+    "CheckContext",
+    "CheckReport",
+    "Invariant",
+    "InvariantChecker",
+    "InvariantViolation",
+    "LIFECYCLE_KINDS",
+    "REGISTRY",
+    "Violation",
+    "default_invariants",
+    "invariant",
+]

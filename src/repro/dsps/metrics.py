@@ -72,6 +72,11 @@ class MulticastTracker:
         self._pending: Dict[int, Tuple[float, set]] = {}
         self.latencies: List[float] = []
         self.completed = 0
+        #: distinct tuples ever registered; with ``cancelled`` this gives
+        #: the conservation identity checked by ``repro.check``:
+        #: registered == completed + cancelled + outstanding.
+        self.registered = 0
+        self.cancelled = 0
 
     def register(
         self, tuple_id: int, destinations: Iterable[int], emit_time: float
@@ -82,6 +87,7 @@ class MulticastTracker:
         entry = self._pending.get(tuple_id)
         if entry is None:
             self._pending[tuple_id] = (emit_time, destinations)
+            self.registered += 1
         else:
             # A second one-to-many edge of the same emit: the tuple now
             # completes when the union of destinations has received it.
@@ -102,7 +108,8 @@ class MulticastTracker:
 
     def cancel(self, tuple_id: int) -> None:
         """Forget a tuple (it was dropped before reaching the wire)."""
-        self._pending.pop(tuple_id, None)
+        if self._pending.pop(tuple_id, None) is not None:
+            self.cancelled += 1
 
     @property
     def outstanding(self) -> int:
@@ -126,6 +133,10 @@ class CompletionTracker:
         self._pending: Dict[int, Tuple[float, set]] = {}
         self.latencies: List[float] = []
         self.completed = 0
+        #: see :class:`MulticastTracker`: conservation counters for
+        #: registered == completed + cancelled + outstanding.
+        self.registered = 0
+        self.cancelled = 0
 
     def register(
         self, root_id: int, destinations: Iterable[int], created_at: float
@@ -136,6 +147,7 @@ class CompletionTracker:
         entry = self._pending.get(root_id)
         if entry is None:
             self._pending[root_id] = (created_at, destinations)
+            self.registered += 1
         else:
             entry[1].update(destinations)
 
@@ -154,7 +166,8 @@ class CompletionTracker:
 
     def cancel(self, root_id: int) -> None:
         """Forget a root tuple (it was dropped before reaching the wire)."""
-        self._pending.pop(root_id, None)
+        if self._pending.pop(root_id, None) is not None:
+            self.cancelled += 1
 
     @property
     def outstanding(self) -> int:

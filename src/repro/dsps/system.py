@@ -145,6 +145,8 @@ class DspsSystem:
         self.crash_count = 0
         self.recovery_count = 0
         self.fault_injector: Optional[FaultInjector] = None
+        #: runtime invariant checker, set by :meth:`attach_checker`.
+        self.checker = None
         self._started = False
         if fault_schedule is not None:
             self.add_fault_schedule(fault_schedule)
@@ -169,6 +171,22 @@ class DspsSystem:
     def tracer(self):
         """The tracer attached to this system's simulator (or ``None``)."""
         return self.sim.tracer
+
+    def attach_checker(self, mode: str = "strict", **kwargs):
+        """Attach a runtime :class:`~repro.check.InvariantChecker`.
+
+        Call before :meth:`start` so the checker sees the whole run.
+        ``mode`` is ``"strict"`` (raise on first breach) or ``"warn"``
+        (collect into the report); extra ``kwargs`` are forwarded to the
+        checker.  The checker is exposed as ``self.checker``; call
+        ``self.checker.finalize()`` after the run for the end-of-run
+        invariants and the report."""
+        from repro.check import InvariantChecker
+
+        checker = InvariantChecker(self, mode=mode, **kwargs)
+        checker.attach()
+        self.checker = checker
+        return checker
 
     def multicast_service(
         self, src_task: int, dst_operator: str

@@ -16,6 +16,13 @@ from typing import Any, Optional
 _tuple_ids = itertools.count()
 
 
+def reset_ids() -> None:
+    """Restart tuple-id allocation (called per system build so traces
+    are reproducible regardless of prior runs in the process)."""
+    global _tuple_ids
+    _tuple_ids = itertools.count()
+
+
 @dataclass
 class StreamTuple:
     """One logical data item flowing through the topology."""

@@ -134,9 +134,14 @@ def plan_repair(
     work = tree.copy()
     ops: List[RewireOp] = []
     banned = {failed}
+    # The failed node still occupies a slot at its parent while the plan
+    # is computed, but excision will free it — count it as open or a
+    # d*-saturated tree (e.g. a chain at d* = 1) becomes unrepairable.
+    vacated = work.parent(failed)
     for child in work.children(failed):
         new_parent = _first_open_slot(
-            work, d_star, exclude_subtree_of=child, banned=banned
+            work, d_star, exclude_subtree_of=child, banned=banned,
+            vacated=vacated,
         )
         if new_parent is None:  # pragma: no cover - tree always has room
             raise TreeError(
@@ -205,12 +210,14 @@ def _first_open_slot(
     d_star: int,
     exclude_subtree_of: Optional[Node] = None,
     banned: Optional[set] = None,
+    vacated: Optional[Node] = None,
 ) -> Optional[Node]:
     """First node in BFS order with out-degree below ``d*``.
 
     Excludes the subtree being moved (attaching there would form a cycle)
     and any explicitly ``banned`` nodes (e.g. a failed relay during
-    repair).
+    repair).  ``vacated`` names a node about to lose one child (the
+    failed relay's parent); its out-degree counts one lower.
     """
     excluded = (
         set(tree.subtree_nodes(exclude_subtree_of))
@@ -222,7 +229,10 @@ def _first_open_slot(
     for node in tree.bfs():
         if node in excluded:
             continue
-        if tree.out_degree(node) < d_star:
+        degree = tree.out_degree(node)
+        if node == vacated:
+            degree -= 1
+        if degree < d_star:
             return node
     return None
 

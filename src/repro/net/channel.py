@@ -34,6 +34,13 @@ if TYPE_CHECKING:  # pragma: no cover
 _channel_ids = itertools.count(1)
 
 
+def reset_ids() -> None:
+    """Restart channel-id allocation (called per system build so traces
+    are reproducible regardless of prior runs in the process)."""
+    global _channel_ids
+    _channel_ids = itertools.count(1)
+
+
 class ChannelError(RuntimeError):
     """Misuse of the channel API (send on closed channel, ...)."""
 

@@ -170,6 +170,10 @@ class Fabric:
             }
         self._receivers: Dict[int, Receiver] = {}
         self.bytes_by_kind: Dict[str, int] = defaultdict(int)
+        #: messages handed to :meth:`send`; every one ends up delivered,
+        #: dead, or lost (or is still in flight) — the conservation
+        #: inequality checked by ``repro.check``.
+        self.messages_injected = 0
         self.messages_delivered = 0
         #: messages that could not be delivered (crashed/unbound receiver,
         #: downed link, crashed sender NIC) — the dead-letter counter.
@@ -188,6 +192,7 @@ class Fabric:
 
     def send(self, msg: WireMessage) -> None:
         """Inject ``msg`` at its source machine's egress port."""
+        self.messages_injected += 1
         if msg.src_machine == msg.dst_machine:
             # Loopback: no NIC, no wire; deliver at the current instant.
             ev = self.sim.event()

@@ -15,6 +15,13 @@ from typing import Any, Callable, Optional
 _msg_ids = itertools.count()
 
 
+def reset_ids() -> None:
+    """Restart message-id allocation (called per system build so traces
+    are reproducible regardless of prior runs in the process)."""
+    global _msg_ids
+    _msg_ids = itertools.count()
+
+
 @dataclass
 class WireMessage:
     """One message on the wire."""

@@ -38,6 +38,7 @@ class QueueStats:
     time_avg_length: float
     total_wait_time: float
     dequeued: int
+    cleared: int = 0
 
     @property
     def mean_wait(self) -> float:
@@ -72,6 +73,11 @@ class TransferQueue(Store):
         self.max_length = 0
         self.total_wait_time = 0.0
         self.dequeued = 0
+        #: items lost to ``clear()`` (machine crash); together with the
+        #: other counters this closes the conservation identities checked
+        #: by ``repro.check``: offered == accepted + dropped + waiting,
+        #: accepted == dequeued + cleared + level.
+        self.cleared = 0
         self._area = 0.0  # integral of length over time
         self._created = sim.now
         self._last_change = sim.now
@@ -138,6 +144,17 @@ class TransferQueue(Store):
             return False, None
         return True, item[1]
 
+    def clear(self) -> list:
+        # Blocked putters' items never passed _on_put; per the Store
+        # contract they count as accepted-then-lost, so fold them into
+        # ``accepted`` before everything lands in ``cleared``.
+        self._integrate()
+        waiting = len(self._putters)
+        lost = super().clear()
+        self.accepted += waiting
+        self.cleared += len(lost)
+        return lost
+
     # ------------------------------------------------------------------
     def _integrate(self) -> None:
         now = self.sim.now
@@ -159,6 +176,7 @@ class TransferQueue(Store):
             time_avg_length=self.time_avg_length(),
             total_wait_time=self.total_wait_time,
             dequeued=self.dequeued,
+            cleared=self.cleared,
         )
 
 

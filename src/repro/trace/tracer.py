@@ -37,6 +37,7 @@ ALL_CATEGORIES = frozenset(
         "switch",
         "fault",
         "ack",
+        "check",
     }
 )
 

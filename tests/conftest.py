@@ -1,5 +1,7 @@
 """Pytest configuration for the test suite."""
 
+import os
+
 from hypothesis import HealthCheck, settings
 
 # Property tests run deterministic simulations whose wall-clock time
@@ -10,4 +12,15 @@ settings.register_profile(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-settings.load_profile("repro")
+
+# CI profile: more examples (main-branch depth) with the same no-deadline
+# policy; select with HYPOTHESIS_PROFILE=ci.
+settings.register_profile(
+    "ci",
+    deadline=None,
+    max_examples=200,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))

@@ -1,0 +1,65 @@
+"""Smoke coverage for the benchmark harness.
+
+The figure benchmarks only run under ``pytest benchmarks/`` with
+pytest-benchmark, so a broken import (renamed bench function, moved
+module) would otherwise surface long after the change that caused it.
+This sweep imports every ``benchmarks/bench_*.py`` in-process and smoke
+runs the CLI entry point under the strict invariant checker.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_MODULES = sorted(p.stem for p in BENCH_DIR.glob("bench_*.py"))
+
+
+@pytest.fixture(scope="module")
+def bench_path():
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        yield
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+
+def test_the_sweep_actually_found_the_benchmarks():
+    # guards against the glob silently matching nothing after a move
+    assert len(BENCH_MODULES) >= 20
+
+
+@pytest.mark.parametrize("module_name", BENCH_MODULES)
+def test_benchmark_module_imports_and_defines_benchmarks(
+    module_name, bench_path
+):
+    module = importlib.import_module(module_name)
+    bench_fns = [
+        name for name in dir(module)
+        if name.startswith("test_") and callable(getattr(module, name))
+    ]
+    assert bench_fns, f"{module_name} defines no pytest-benchmark entry"
+
+
+@pytest.mark.parametrize("variant", ["whale", "storm"])
+def test_runner_cli_smoke_passes_strict_check(variant, capsys):
+    from repro.bench.runner import main
+
+    rc = main([
+        "--smoke", "--check=strict", "--variant", variant,
+        "--tuples", "60",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "invariant check [strict]: OK" in out
+
+
+def test_runner_cli_warn_mode_reports(capsys):
+    from repro.bench.runner import main
+
+    rc = main(["--smoke", "--check=warn", "--tuples", "60"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "invariant check [warn]: OK" in out

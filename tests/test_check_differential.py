@@ -1,0 +1,69 @@
+"""Differential testing: Whale vs. the instance-oriented baseline.
+
+Whale changes *how* a broadcast travels (worker-oriented serialization,
+relay trees) but must never change *what* arrives.  Both variants run
+the identical topology, workload and seed; the delivered tuple multiset
+— every ``(sequence number, destination task)`` pair recorded by the
+sink bolts — must match exactly, and each pair must appear exactly
+once (no loss, no duplication, faultless runs are exactly-once).
+
+Placement comes from ``schedule(topology, cluster)``, which does not
+depend on the communication config, so task ids are directly comparable
+across variants.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import whale_full_config
+from repro.dsps import storm_config
+from tests._check_util import build_checked_system, run_windowed
+
+END_TO_END = settings(max_examples=8, deadline=None)
+
+
+def _delivered(config, parallelism, n_machines, n_tuples, seed):
+    system, log = build_checked_system(
+        config, parallelism=parallelism, n_machines=n_machines,
+        n_tuples=n_tuples, seed=seed, check="strict",
+    )
+    run_windowed(system, drain_s=0.5)
+    assert system.checker.finalize().ok
+    return Counter(log)
+
+
+def test_whale_and_storm_deliver_the_same_tuple_multiset():
+    whale = _delivered(whale_full_config(adaptive=False), 6, 3, 50, seed=1)
+    storm = _delivered(storm_config(), 6, 3, 50, seed=1)
+    assert whale == storm
+    # faultless broadcast is exactly-once: every pair delivered once,
+    # every sequence number reaching all destination tasks
+    assert set(whale.values()) == {1}
+    seqs = {seq for seq, _task in whale}
+    tasks = {task for _seq, task in whale}
+    assert len(tasks) == 6
+    assert len(whale) == len(seqs) * len(tasks)
+
+
+@END_TO_END
+@given(
+    parallelism=st.integers(min_value=2, max_value=8),
+    n_machines=st.integers(min_value=2, max_value=4),
+    d_star=st.integers(min_value=1, max_value=3),
+    n_tuples=st.integers(min_value=5, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_differential_equivalence_holds_for_fuzzed_scenarios(
+    parallelism, n_machines, d_star, n_tuples, seed
+):
+    whale = _delivered(
+        whale_full_config(d_star=d_star, adaptive=False),
+        parallelism, n_machines, n_tuples, seed,
+    )
+    storm = _delivered(
+        storm_config(), parallelism, n_machines, n_tuples, seed
+    )
+    assert whale == storm
+    assert set(whale.values()) == {1}
