@@ -17,11 +17,18 @@ RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"
 
 
 def run_figure(benchmark, fn: Callable, name: str) -> Tuple[Table, ...]:
-    """Run one experiment once, print + persist its tables."""
+    """Run one experiment once, print + persist its tables.
+
+    Each table is written twice — the human-readable ``<name>.txt``
+    rendering and the machine-readable ``<name>.json`` of
+    :meth:`Table.to_dict` — from the same in-memory object, so the two
+    can never diverge.
+    """
     result = benchmark.pedantic(fn, rounds=1, iterations=1)
     tables = result if isinstance(result, tuple) else (result,)
     for i, table in enumerate(tables):
         suffix = f"_{i}" if len(tables) > 1 else ""
         table.save(f"{name}{suffix}", directory=RESULTS_DIR)
+        table.save_json(f"{name}{suffix}", directory=RESULTS_DIR)
         print("\n" + table.render())
     return tables

@@ -46,6 +46,7 @@ def _run_point(
     parallelism: int = 32,
     machines: int = 8,
     measure_s: float = 0.6,
+    seed: int = 3,
 ):
     topo = Topology("ablation")
     topo.add_spout("src", _Spout)
@@ -62,7 +63,7 @@ def _run_point(
         topo,
         config,
         cluster=Cluster(machines, 1, 16),
-        arrivals={"src": PoissonArrivals(rate, np.random.default_rng(3))},
+        arrivals={"src": PoissonArrivals(rate, np.random.default_rng(seed))},
     )
     system.start()
     system.sim.run(until=0.25)
@@ -73,7 +74,7 @@ def _run_point(
 
 
 def ablation_dstar(
-    d_values: Optional[List[int]] = None, rate: float = 5_000.0
+    d_values: Optional[List[int]] = None, rate: float = 5_000.0, seed: int = 3
 ) -> Table:
     """Fixed-d* sweep at one input rate."""
     d_values = d_values or [1, 2, 3, 4, 5]
@@ -91,7 +92,7 @@ def ablation_dstar(
         ],
     )
     for d in d_values:
-        system = _run_point(d, rate, q, adaptive=False)
+        system = _run_point(d, rate, q, adaptive=False, seed=seed)
         m = system.metrics
         src = system.source_executor("src")
         table.add(
@@ -111,7 +112,7 @@ def ablation_dstar(
 
 
 def ablation_queue_capacity(
-    q_values: Optional[List[int]] = None, rate: float = 5_000.0
+    q_values: Optional[List[int]] = None, rate: float = 5_000.0, seed: int = 3
 ) -> Table:
     """Transfer-queue capacity sweep with the adaptive controller on."""
     q_values = q_values or [1, 4, 64, 1024]
@@ -128,7 +129,7 @@ def ablation_queue_capacity(
         ],
     )
     for q in q_values:
-        system = _run_point(4, rate, q, adaptive=True)
+        system = _run_point(4, rate, q, adaptive=True, seed=seed)
         m = system.metrics
         controller = system.controllers[0]
         table.add(

@@ -61,7 +61,9 @@ def _ms(seconds: float) -> float:
 # ----------------------------------------------------------------------
 # Fig. 2 — the motivating bottleneck (Storm, one-to-many, TCP)
 # ----------------------------------------------------------------------
-def fig02_storm_bottleneck(parallelisms: Optional[List[int]] = None) -> Table:
+def fig02_storm_bottleneck(
+    parallelisms: Optional[List[int]] = None, seed: int = 42
+) -> Table:
     parallelisms = parallelisms or [30, 120, 240, 480]
     table = Table(
         "Fig 2: Storm one-to-many bottleneck (ride-hailing)",
@@ -76,7 +78,7 @@ def fig02_storm_bottleneck(parallelisms: Optional[List[int]] = None) -> Table:
         ],
     )
     for p in parallelisms:
-        run = run_app("ridehailing", storm_config(), p)
+        run = run_app("ridehailing", storm_config(), p, seed=seed)
         table.add(
             p,
             run.throughput,
@@ -98,7 +100,7 @@ def fig02_storm_bottleneck(parallelisms: Optional[List[int]] = None) -> Table:
 # Fig. 3 — RDMC blocks under rising input rates
 # ----------------------------------------------------------------------
 def fig03_rdmc_blocking(
-    rates: Optional[List[float]] = None, parallelism: int = 480
+    rates: Optional[List[float]] = None, parallelism: int = 480, seed: int = 17
 ) -> Table:
     """480 matching instances on RDMC's static binomial tree; sweep the
     input rate.  As in the paper's examination, the downstream instances
@@ -138,7 +140,7 @@ def fig03_rdmc_blocking(
             inputs={"src": AllGrouping()},
             terminal=True,
         )
-        rng = np.random.default_rng(17)
+        rng = np.random.default_rng(seed)
         system = create_system(
             topo,
             config,
@@ -173,7 +175,7 @@ def fig03_rdmc_blocking(
 # ----------------------------------------------------------------------
 # Figs. 11/12 — MMS / WTL sweeps
 # ----------------------------------------------------------------------
-def fig11_mms(mms_values: Optional[List[int]] = None) -> Table:
+def fig11_mms(mms_values: Optional[List[int]] = None, seed: int = 42) -> Table:
     mms_values = mms_values or [512, 4096, 32768, 262144, 1048576]
     table = Table(
         "Fig 11: system performance with different MMS (Whale-WOC-RDMA)",
@@ -187,6 +189,7 @@ def fig11_mms(mms_values: Optional[List[int]] = None) -> Table:
             240,
             overdrive=0.7,
             tuple_budget=400,
+            seed=seed,
         )
         table.add(mms, run.throughput, _ms(run.processing_latency.p50))
     table.note(
@@ -196,7 +199,9 @@ def fig11_mms(mms_values: Optional[List[int]] = None) -> Table:
     return table
 
 
-def fig12_wtl(wtl_values_ms: Optional[List[float]] = None) -> Table:
+def fig12_wtl(
+    wtl_values_ms: Optional[List[float]] = None, seed: int = 42
+) -> Table:
     wtl_values_ms = wtl_values_ms or [1, 5, 10, 20, 30]
     table = Table(
         "Fig 12: system performance with different WTL (Whale-WOC-RDMA)",
@@ -210,6 +215,7 @@ def fig12_wtl(wtl_values_ms: Optional[List[float]] = None) -> Table:
             240,
             overdrive=0.7,
             tuple_budget=400,
+            seed=seed,
         )
         table.add(wtl, run.throughput, _ms(run.processing_latency.p50))
     table.note(
@@ -222,21 +228,28 @@ def fig12_wtl(wtl_values_ms: Optional[List[float]] = None) -> Table:
 # ----------------------------------------------------------------------
 # Figs. 13-16 — end-to-end throughput / latency vs parallelism
 # ----------------------------------------------------------------------
-def _endtoend(app: str, parallelisms: List[int]) -> Dict[str, List[AppRun]]:
+def _endtoend(
+    app: str, parallelisms: List[int], seed: int = 42
+) -> Dict[str, List[AppRun]]:
     results: Dict[str, List[AppRun]] = {}
     for make in ALL_VARIANTS:
         config = make()
         results[config.name] = [
-            run_app(app, config, p, tuple_budget=400) for p in parallelisms
+            run_app(app, config, p, tuple_budget=400, seed=seed)
+            for p in parallelisms
         ]
     return results
 
 
 def _endtoend_tables(
-    app: str, fig_thru: str, fig_lat: str, parallelisms: Optional[List[int]] = None
+    app: str,
+    fig_thru: str,
+    fig_lat: str,
+    parallelisms: Optional[List[int]] = None,
+    seed: int = 42,
 ):
     parallelisms = parallelisms or PARALLELISMS_SMALL
-    results = _endtoend(app, parallelisms)
+    results = _endtoend(app, parallelisms, seed=seed)
     thru = Table(
         f"{fig_thru}: throughput vs parallelism ({app})",
         ["parallelism"] + list(results),
@@ -271,12 +284,16 @@ def _endtoend_tables(
     return thru, lat
 
 
-def fig13_14_ridehailing(parallelisms: Optional[List[int]] = None):
-    return _endtoend_tables("ridehailing", "Fig 13", "Fig 14", parallelisms)
+def fig13_14_ridehailing(
+    parallelisms: Optional[List[int]] = None, seed: int = 42
+):
+    return _endtoend_tables(
+        "ridehailing", "Fig 13", "Fig 14", parallelisms, seed=seed
+    )
 
 
-def fig15_16_stocks(parallelisms: Optional[List[int]] = None):
-    return _endtoend_tables("stocks", "Fig 15", "Fig 16", parallelisms)
+def fig15_16_stocks(parallelisms: Optional[List[int]] = None, seed: int = 42):
+    return _endtoend_tables("stocks", "Fig 15", "Fig 16", parallelisms, seed=seed)
 
 
 # ----------------------------------------------------------------------
@@ -302,6 +319,7 @@ def _structure_tables(
     fig_lat: str,
     fig_mcast: str,
     parallelisms: Optional[List[int]] = None,
+    seed: int = 42,
 ):
     parallelisms = parallelisms or PARALLELISMS_SMALL
     # The structure comparison is meaningful in the source-bound regime
@@ -312,7 +330,10 @@ def _structure_tables(
     costs = CostModel().with_overrides(serialize_per_byte_s=200e-9)
     configs = _structure_configs(costs)
     results = {
-        name: [run_app(app, cfg, p, tuple_budget=400) for p in parallelisms]
+        name: [
+            run_app(app, cfg, p, tuple_budget=400, seed=seed)
+            for p in parallelisms
+        ]
         for name, cfg in configs.items()
     }
     thru = Table(
@@ -352,6 +373,7 @@ def _structure_tables(
                     common, 0.97 * source_capacity(mcast_configs[s], shape)
                 ),
                 tuple_budget=300,
+                seed=seed,
             )
             for s in mcast_configs
         }
@@ -374,14 +396,16 @@ def _structure_tables(
     return thru, lat, mcast
 
 
-def fig17_18_21_structures_ridehailing(parallelisms=None):
+def fig17_18_21_structures_ridehailing(parallelisms=None, seed: int = 42):
     return _structure_tables(
-        "ridehailing", "Fig 17", "Fig 18", "Fig 21", parallelisms
+        "ridehailing", "Fig 17", "Fig 18", "Fig 21", parallelisms, seed=seed
     )
 
 
-def fig19_20_22_structures_stocks(parallelisms=None):
-    return _structure_tables("stocks", "Fig 19", "Fig 20", "Fig 22", parallelisms)
+def fig19_20_22_structures_stocks(parallelisms=None, seed: int = 42):
+    return _structure_tables(
+        "stocks", "Fig 19", "Fig 20", "Fig 22", parallelisms, seed=seed
+    )
 
 
 # ----------------------------------------------------------------------
@@ -392,6 +416,7 @@ def fig23_24_dynamic(
     n_machines: int = 8,
     step_duration_s: float = 1.0,
     sample_s: float = 0.1,
+    seed: int = 7,
 ):
     """Step the input rate (scaled analogue of the paper's 30k -> 60k ->
     80k -> 100k -> 80k tuples/s) through Whale's adaptive non-blocking
@@ -438,7 +463,7 @@ def fig23_24_dynamic(
             inputs={"requests": AllGrouping()},
             terminal=True,
         )
-        rng = np.random.default_rng(7)
+        rng = np.random.default_rng(seed)
         system = create_system(
             topo,
             config.with_overrides(monitor_interval_s=0.05),
@@ -492,7 +517,9 @@ def fig23_24_dynamic(
 # ----------------------------------------------------------------------
 # Figs. 25/26 — communication time and serialization share
 # ----------------------------------------------------------------------
-def fig25_26_comm_time(parallelisms: Optional[List[int]] = None):
+def fig25_26_comm_time(
+    parallelisms: Optional[List[int]] = None, seed: int = 42
+):
     parallelisms = parallelisms or [120, 480]
     configs = [storm_config(), rdma_storm_config(), whale_woc_rdma_config()]
     comm = Table(
@@ -507,7 +534,10 @@ def fig25_26_comm_time(parallelisms: Optional[List[int]] = None):
         + [f"{c.name} us" for c in configs],
     )
     for p in parallelisms:
-        runs = [run_app("ridehailing", c, p, tuple_budget=300) for c in configs]
+        runs = [
+            run_app("ridehailing", c, p, tuple_budget=300, seed=seed)
+            for c in configs
+        ]
         comm.add(
             p,
             *[
@@ -540,7 +570,7 @@ def fig25_26_comm_time(parallelisms: Optional[List[int]] = None):
 # ----------------------------------------------------------------------
 # Figs. 27/28 — communication traffic
 # ----------------------------------------------------------------------
-def fig27_28_traffic(parallelisms: Optional[List[int]] = None):
+def fig27_28_traffic(parallelisms: Optional[List[int]] = None, seed: int = 42):
     parallelisms = parallelisms or PARALLELISMS_SMALL
     configs = [storm_config(), rdma_storm_config(), whale_full_config()]
     tables = []
@@ -553,7 +583,7 @@ def fig27_28_traffic(parallelisms: Optional[List[int]] = None):
             # Sub-saturation (no transfer-queue loss): per-tuple traffic
             # is rate-independent and drops would distort normalization.
             runs = [
-                run_app(app, c, p, tuple_budget=300, overdrive=0.85)
+                run_app(app, c, p, tuple_budget=300, overdrive=0.85, seed=seed)
                 for c in configs
             ]
             table.add(p, *[r.traffic_per_10k_tuples / 1e6 for r in runs])
@@ -636,7 +666,9 @@ def fig29_30_verbs(
 # ----------------------------------------------------------------------
 # Figs. 31/32 — Whale_DiffVerbs vs RDMA-based Storm
 # ----------------------------------------------------------------------
-def fig31_32_diffverbs(parallelisms: Optional[List[int]] = None):
+def fig31_32_diffverbs(
+    parallelisms: Optional[List[int]] = None, seed: int = 42
+):
     parallelisms = parallelisms or [240, 480]
     configs = [
         rdma_storm_config(),
@@ -652,7 +684,10 @@ def fig31_32_diffverbs(parallelisms: Optional[List[int]] = None):
         ["parallelism"] + [c.name for c in configs],
     )
     for p in parallelisms:
-        runs = [run_app("ridehailing", c, p, tuple_budget=300) for c in configs]
+        runs = [
+            run_app("ridehailing", c, p, tuple_budget=300, seed=seed)
+            for c in configs
+        ]
         thru.add(p, *[r.throughput for r in runs])
         lat.add(p, *[_ms(r.processing_latency.p50) for r in runs])
     thru.note(
@@ -666,7 +701,11 @@ def fig31_32_diffverbs(parallelisms: Optional[List[int]] = None):
 # ----------------------------------------------------------------------
 # Figs. 33/34 — physical rack topology
 # ----------------------------------------------------------------------
-def fig33_34_racks(rack_counts: Optional[List[int]] = None, parallelism: int = 240):
+def fig33_34_racks(
+    rack_counts: Optional[List[int]] = None,
+    parallelism: int = 240,
+    seed: int = 42,
+):
     rack_counts = rack_counts or [1, 2, 3, 4, 5]
     configs = [storm_config(), rdma_storm_config(), whale_full_config()]
     thru = Table(
@@ -680,7 +719,12 @@ def fig33_34_racks(rack_counts: Optional[List[int]] = None, parallelism: int = 2
     for racks in rack_counts:
         runs = [
             run_app(
-                "ridehailing", c, parallelism, n_racks=racks, tuple_budget=300
+                "ridehailing",
+                c,
+                parallelism,
+                n_racks=racks,
+                tuple_budget=300,
+                seed=seed,
             )
             for c in configs
         ]
@@ -694,12 +738,12 @@ def fig33_34_racks(rack_counts: Optional[List[int]] = None, parallelism: int = 2
 # ----------------------------------------------------------------------
 # Table 2 — dataset statistics
 # ----------------------------------------------------------------------
-def table2_datasets(sample: int = 30_000) -> Table:
+def table2_datasets(sample: int = 30_000, seed: int = 0) -> Table:
     table = Table(
         "Table 2: statistics of the datasets (paper vs synthetic generators)",
         ["dataset", "# tuples (paper)", "# keys (paper)", "generator keys (sampled)"],
     )
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(seed)
     didi = didi_stats()
     drivers = DriverLocationGenerator(rng, n_drivers=60_000)
     seen_drivers = {drivers.next_record()["driver_id"] for _ in range(sample)}
@@ -717,35 +761,37 @@ def table2_datasets(sample: int = 30_000) -> Table:
 
 
 # ----------------------------------------------------------------------
-EXPERIMENTS = {
-    "fig02": fig02_storm_bottleneck,
-    "fig03": fig03_rdmc_blocking,
-    "fig11": fig11_mms,
-    "fig12": fig12_wtl,
-    "fig13_14": fig13_14_ridehailing,
-    "fig15_16": fig15_16_stocks,
-    "fig17_18_21": fig17_18_21_structures_ridehailing,
-    "fig19_20_22": fig19_20_22_structures_stocks,
-    "fig23_24": fig23_24_dynamic,
-    "fig25_26": fig25_26_comm_time,
-    "fig27_28": fig27_28_traffic,
-    "fig29_30": fig29_30_verbs,
-    "fig31_32": fig31_32_diffverbs,
-    "fig33_34": fig33_34_racks,
-    "table2": table2_datasets,
-}
+# The historical {name: figure function} mapping now sits on top of the
+# declarative point registry (repro.exp.registry), which also carries
+# the sweep decomposition, per-point seeds, and timeouts the orchestrator
+# (`python -m repro.exp`) schedules from.
+from repro.exp.registry import figure_function_map
+
+EXPERIMENTS = figure_function_map()
 
 
-def main(argv: List[str]) -> int:  # pragma: no cover - CLI convenience
-    names = argv or list(EXPERIMENTS)
-    for name in names:
-        fn = EXPERIMENTS.get(name)
-        if fn is None:
-            print(f"unknown experiment {name!r}; choices: {sorted(EXPERIMENTS)}")
-            return 2
-        result = fn()
-        tables = result if isinstance(result, tuple) else (result,)
-        for t in tables:
+def main(argv: List[str]) -> int:
+    """Run figures by name; ``--list`` shows every registered experiment.
+
+    ``python -m repro.exp run`` is the parallel/cached way to run the
+    suite; this entry point stays for one-off sequential regeneration.
+    """
+    from repro.exp.registry import REGISTRY, SPECS, select
+
+    if "--list" in argv:
+        for spec in SPECS:
+            points = len(spec.point_params(smoke=False))
+            print(f"{spec.name}: {spec.category}, {points} point(s), "
+                  f"{spec.fn_ref.partition(':')[2]}")
+        return 0
+    try:
+        specs = select(argv or list(REGISTRY))
+    except KeyError as exc:
+        # Report *all* unknown names before exiting non-zero.
+        print(exc.args[0])
+        return 2
+    for spec in specs:
+        for t in spec.run_inline():
             print(t.render())
             print()
     return 0

@@ -53,7 +53,9 @@ DRAIN_S = 0.25
 
 
 def ablation_lossy_network(
-    loss_values: Optional[List[float]] = None, parallelism: int = 240
+    loss_values: Optional[List[float]] = None,
+    parallelism: int = 240,
+    seed: int = 42,
 ) -> Table:
     """Full-delivery fraction of Storm vs Whale under injected loss."""
     loss_values = loss_values if loss_values is not None else [0.0, 0.001, 0.01]
@@ -75,6 +77,7 @@ def ablation_lossy_network(
                 parallelism,
                 tuple_budget=300,
                 overdrive=0.7,  # sub-saturation isolates the wire loss
+                seed=seed,
                 keep_system=True,
                 fabric_options={"loss_probability": loss, "loss_seed": 11},
             )
@@ -110,6 +113,7 @@ def ablation_oversubscribed_racks(
     rack_counts: Optional[List[int]] = None,
     parallelism: int = 240,
     oversubscription: float = 4.0,
+    seed: int = 42,
 ) -> Table:
     """Figs. 33/34 with a congested core: each rack's uplink carries
     1/oversubscription of the NIC bandwidth."""
@@ -136,6 +140,7 @@ def ablation_oversubscribed_racks(
                 parallelism,
                 n_racks=racks,
                 tuple_budget=300,
+                seed=seed,
                 keep_system=True,
                 fabric_options={"rack_uplink_bandwidth_bps": uplink_bw},
             )

@@ -7,9 +7,28 @@ can cite exact reproduced numbers.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _jsonify(value: Any) -> Any:
+    """Coerce a cell to a plain JSON-serializable Python scalar.
+
+    Numpy scalars (the common case: metrics come out of numpy reductions)
+    are converted via ``item()``; anything else non-primitive falls back
+    to ``str`` so a table can always be persisted.
+    """
+    # exact types only: np.float64 subclasses float and would leak through
+    if value is None or type(value) in (bool, int, float, str):
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        value = item()
+        if isinstance(value, (bool, int, float, str)):
+            return value
+    return str(value)
 
 
 def _fmt(value: Any) -> str:
@@ -70,6 +89,37 @@ class Table:
         path = os.path.join(directory, f"{name}.txt")
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(self.render() + "\n")
+        return path
+
+    # ------------------------------------------------------------------
+    # machine-readable form (the result store persists tables this way)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "title": self.title,
+            "headers": [str(h) for h in self.headers],
+            "rows": [[_jsonify(c) for c in row] for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Table":
+        table = cls(data["title"], list(data["headers"]))
+        for row in data["rows"]:
+            table.add(*row)
+        for note in data.get("notes", []):
+            table.note(note)
+        return table
+
+    def save_json(self, name: str, directory: Optional[str] = None) -> str:
+        """Write :meth:`to_dict` to ``<directory>/<name>.json``; returns path."""
+        directory = directory or default_results_dir()
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+            fh.write("\n")
         return path
 
 

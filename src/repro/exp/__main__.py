@@ -1,0 +1,12 @@
+"""Entry point: ``python -m repro.exp {run,status,verify,list}``."""
+
+import sys
+
+from repro.exp.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... status | head`
+        sys.stderr.close()
+        sys.exit(0)

@@ -1,0 +1,292 @@
+"""The paper's qualitative claims, as predicates over stored results.
+
+Each :class:`Claim` names the experiments it reads and a check over
+their *assembled* tables (re-built from the content-addressed store).
+Claims are deliberately qualitative — who wins, which way a curve bends
+— because those are the assertions that must survive any rescaling of
+the simulation's absolute numbers, and they hold at both smoke and full
+sweep sizes.
+
+``python -m repro.exp verify`` evaluates every claim and fails the
+invocation if any stored result contradicts the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.report import Table
+from repro.exp.points import code_version
+from repro.exp.registry import REGISTRY, ExperimentSpec, assemble
+from repro.exp.store import ResultStore
+
+TablesByExperiment = Dict[str, Tuple[Table, ...]]
+#: a check returns (passed, evidence lines)
+CheckFn = Callable[[TablesByExperiment], Tuple[bool, List[str]]]
+
+
+@dataclass(frozen=True)
+class Claim:
+    name: str
+    description: str
+    experiments: Tuple[str, ...]
+    check: CheckFn
+
+
+@dataclass
+class ClaimResult:
+    claim: Claim
+    status: str  #: ``PASS`` | ``FAIL`` | ``SKIP``
+    details: List[str] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# store -> assembled tables
+# ----------------------------------------------------------------------
+def load_tables(
+    store: ResultStore,
+    spec: ExperimentSpec,
+    mode: str = "auto",
+    version: Optional[str] = None,
+) -> Optional[Tuple[Table, ...]]:
+    """Assemble an experiment's tables from the store, or ``None``.
+
+    ``mode``: ``"full"`` / ``"smoke"`` require that point set to be
+    complete; ``"auto"`` prefers the full sweep and falls back to the
+    smoke one.
+    """
+    version = version if version is not None else code_version()
+    modes = {"auto": (False, True), "full": (False,), "smoke": (True,)}[mode]
+    for smoke in modes:
+        points = spec.points(smoke=smoke, version=version)
+        records = [store.get(p.digest) for p in points]
+        if all(r is not None for r in records):
+            return assemble(spec, [r["result"] for r in records])
+    return None
+
+
+def _column(table: Table, name: str) -> int:
+    for i, header in enumerate(table.headers):
+        if header == name:
+            return i
+    raise KeyError(f"table {table.title!r} has no column {name!r}")
+
+
+def _finite(values: Sequence[float]) -> List[float]:
+    return [v for v in values if isinstance(v, (int, float)) and math.isfinite(v)]
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return float("nan")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+# ----------------------------------------------------------------------
+# the checks
+# ----------------------------------------------------------------------
+def _check_throughput_ordering(app_exp: str) -> CheckFn:
+    def check(tables: TablesByExperiment) -> Tuple[bool, List[str]]:
+        thru = tables[app_exp][0]
+        last = thru.rows[-1]
+        storm = last[_column(thru, "storm")]
+        rdma = last[_column(thru, "rdma-storm")]
+        whale = last[_column(thru, "whale")]
+        ok = whale > rdma > storm
+        return ok, [
+            f"{app_exp} @ parallelism {last[0]}: whale={whale:.0f} "
+            f"rdma-storm={rdma:.0f} storm={storm:.0f} tuples/s "
+            f"({'ordered' if ok else 'ORDER VIOLATED'})"
+        ]
+
+    return check
+
+
+def _check_woc_traffic(tables: TablesByExperiment) -> Tuple[bool, List[str]]:
+    ok = True
+    details: List[str] = []
+    for table in tables["fig27_28"]:
+        storm_col = _column(table, "storm")
+        rdma_col = _column(table, "rdma-storm")
+        whale_col = _column(table, "whale")
+        for row in table.rows:
+            if not (row[whale_col] < row[storm_col]
+                    and row[whale_col] < row[rdma_col]):
+                ok = False
+                details.append(
+                    f"{table.title} @ {row[0]}: whale traffic "
+                    f"{row[whale_col]:.1f} MB not below baselines"
+                )
+        last = table.rows[-1]
+        reduction = 1.0 - last[whale_col] / max(1e-12, last[storm_col])
+        if reduction < 0.5:
+            ok = False
+        details.append(
+            f"{table.title} @ {last[0]}: whale cuts storm's traffic by "
+            f"{100 * reduction:.1f}% (paper: ~90%+ at parallelism 480)"
+        )
+    return ok, details
+
+
+def _check_dstar_adaptation(
+    tables: TablesByExperiment,
+) -> Tuple[bool, List[str]]:
+    whale, sequential = tables["fig23_24"]
+    lat_col = 3  # ["time", "input rate", "throughput", "latency p50 (ms)"]
+    whale_lat = _median(_finite([r[lat_col] for r in whale.rows]))
+    seq_lat = _median(_finite([r[lat_col] for r in sequential.rows]))
+    notes = " ".join(whale.notes)
+    switched = "scale_up" in notes and "scale_down" in notes
+    ok = switched and whale_lat < seq_lat
+    return ok, [
+        f"median sampled latency: adaptive={whale_lat:.1f} ms, "
+        f"static sequential={seq_lat:.1f} ms",
+        "d* switched both directions under the rate steps"
+        if switched
+        else "NO dynamic d* switch recorded in either direction",
+    ]
+
+
+def _check_structure_latency(app_exp: str) -> CheckFn:
+    def check(tables: TablesByExperiment) -> Tuple[bool, List[str]]:
+        mcast = tables[app_exp][2]
+        last = mcast.rows[-1]
+        seq = last[_column(mcast, "sequential")]
+        bino = last[_column(mcast, "binomial")]
+        nonb = last[_column(mcast, "nonblocking")]
+        ok = nonb < bino < seq
+        return ok, [
+            f"{app_exp} multicast latency @ parallelism {last[0]}: "
+            f"nonblocking={nonb:.3f} < binomial={bino:.3f} < "
+            f"sequential={seq:.3f} ms"
+            if ok
+            else f"{app_exp} @ parallelism {last[0]}: latency ordering "
+            f"violated (nonblocking={nonb:.3f}, binomial={bino:.3f}, "
+            f"sequential={seq:.3f} ms)"
+        ]
+
+    return check
+
+
+def _check_storm_bottleneck(
+    tables: TablesByExperiment,
+) -> Tuple[bool, List[str]]:
+    table = tables["fig02"][0]
+    first, last = table.rows[0], table.rows[-1]
+    collapse = first[1] / max(1e-9, last[1])
+    src_sat = last[3] > 0.9
+    down_idle = last[4] < 0.3
+    ok = collapse > 2.0 and src_sat and down_idle
+    return ok, [
+        f"storm throughput falls {collapse:.1f}x from parallelism "
+        f"{first[0]} to {last[0]}",
+        f"at parallelism {last[0]}: source util {last[3]:.2f} "
+        f"(saturated), downstream util {last[4]:.2f} (idle)",
+    ]
+
+
+CLAIMS: Tuple[Claim, ...] = (
+    Claim(
+        name="throughput-ordering-ridehailing",
+        description="Whale > RDMA-based Storm > Storm end-to-end "
+        "throughput (ride-hailing, paper Fig. 13)",
+        experiments=("fig13_14",),
+        check=_check_throughput_ordering("fig13_14"),
+    ),
+    Claim(
+        name="throughput-ordering-stocks",
+        description="Whale > RDMA-based Storm > Storm end-to-end "
+        "throughput (stock exchange, paper Fig. 15)",
+        experiments=("fig15_16",),
+        check=_check_throughput_ordering("fig15_16"),
+    ),
+    Claim(
+        name="woc-traffic-reduction",
+        description="Whale's one-copy WOC slashes wire traffic below "
+        "both baselines at every parallelism (paper Figs. 27/28)",
+        experiments=("fig27_28",),
+        check=_check_woc_traffic,
+    ),
+    Claim(
+        name="dstar-adaptation-latency",
+        description="under stepped input rates the self-adjusting d* "
+        "structure switches and keeps latency below the static "
+        "sequential multicast (paper Figs. 23/24)",
+        experiments=("fig23_24",),
+        check=_check_dstar_adaptation,
+    ),
+    Claim(
+        name="multicast-structure-latency-ridehailing",
+        description="non-blocking < binomial < sequential average "
+        "multicast latency (ride-hailing, paper Fig. 21)",
+        experiments=("fig17_18_21",),
+        check=_check_structure_latency("fig17_18_21"),
+    ),
+    Claim(
+        name="multicast-structure-latency-stocks",
+        description="non-blocking < binomial < sequential average "
+        "multicast latency (stock exchange, paper Fig. 22)",
+        experiments=("fig19_20_22",),
+        check=_check_structure_latency("fig19_20_22"),
+    ),
+    Claim(
+        name="storm-one-to-many-bottleneck",
+        description="Storm's throughput collapses with one-to-many "
+        "parallelism while the source saturates and downstream idles "
+        "(paper Fig. 2)",
+        experiments=("fig02",),
+        check=_check_storm_bottleneck,
+    ),
+)
+
+
+def evaluate_claims(
+    store: ResultStore,
+    mode: str = "auto",
+    claims: Sequence[Claim] = CLAIMS,
+    version: Optional[str] = None,
+) -> List[ClaimResult]:
+    """Check every claim against the store; missing data -> ``SKIP``."""
+    version = version if version is not None else code_version()
+    cache: Dict[str, Optional[Tuple[Table, ...]]] = {}
+    results: List[ClaimResult] = []
+    for claim in claims:
+        tables: TablesByExperiment = {}
+        missing: List[str] = []
+        for name in claim.experiments:
+            if name not in cache:
+                cache[name] = load_tables(
+                    store, REGISTRY[name], mode=mode, version=version
+                )
+            loaded = cache[name]
+            if loaded is None:
+                missing.append(name)
+            else:
+                tables[name] = loaded
+        if missing:
+            results.append(
+                ClaimResult(
+                    claim,
+                    "SKIP",
+                    [
+                        f"missing stored results for {', '.join(missing)} "
+                        f"(mode={mode}, code_version={version})"
+                    ],
+                )
+            )
+            continue
+        try:
+            ok, details = claim.check(tables)
+        except Exception as exc:  # a malformed table is a failure, not a crash
+            results.append(
+                ClaimResult(claim, "FAIL", [f"check raised: {exc!r}"])
+            )
+            continue
+        results.append(ClaimResult(claim, "PASS" if ok else "FAIL", details))
+    return results

@@ -1,0 +1,101 @@
+"""Experiment points: the unit of work the orchestrator schedules.
+
+An :class:`ExperimentPoint` is one independently runnable slice of a
+figure — typically one sweep value (one parallelism, one rate, one MMS
+setting) of one experiment.  Its identity is the tuple
+
+    (experiment, params, seed, code-version digest)
+
+hashed into a content address, which is how the result store decides
+whether the point has already been computed by a previous (possibly
+interrupted) invocation.  Points carry only JSON-serializable params so
+they can cross process boundaries and be replayed from the store key
+alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Dict, Mapping, Optional
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON used for hashing keys (sorted, no whitespace)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def _repo_src_root() -> str:
+    # .../src/repro/exp/points.py -> .../src/repro
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def code_version(root: Optional[str] = None) -> str:
+    """Digest of every ``src/repro`` source file that can affect results.
+
+    The harness itself (``repro.exp``) is excluded: changing how points
+    are scheduled, stored, rendered, or verified must not invalidate the
+    results they address.  Override with ``REPRO_EXP_CODE_VERSION`` to
+    pin a version (tests use this to simulate code changes).
+    """
+    override = os.environ.get("REPRO_EXP_CODE_VERSION")
+    if override:
+        return override
+    return _hash_source_tree(root or _repo_src_root())
+
+
+@lru_cache(maxsize=None)
+def _hash_source_tree(root: str) -> str:
+    digest = hashlib.sha256()
+    exp_dir = os.path.join(root, "exp")
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        if os.path.abspath(dirpath).startswith(os.path.abspath(exp_dir)):
+            continue
+        if "__pycache__" in dirpath:
+            continue
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            digest.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as fh:
+                digest.update(fh.read())
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One content-addressed unit of experiment work."""
+
+    experiment: str
+    index: int  #: position within the experiment's point list
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+    code_version: str = ""
+
+    def key(self) -> Dict[str, Any]:
+        """The identity fields the store hashes (and records verbatim)."""
+        return {
+            "experiment": self.experiment,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "code_version": self.code_version,
+        }
+
+    @property
+    def digest(self) -> str:
+        return hashlib.sha256(canonical_json(self.key()).encode()).hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for progress lines."""
+        if not self.params:
+            return self.experiment
+        inner = ",".join(
+            f"{k}={v}" for k, v in sorted(self.params.items())
+        )
+        return f"{self.experiment}[{inner}]"

@@ -1,0 +1,163 @@
+"""Content-addressed result store under ``benchmarks/results/store/``.
+
+Each record is one experiment point, filed at
+``store/<digest[:2]>/<digest>.json`` where the digest hashes
+``(experiment, params, seed, code-version)``.  Records are written
+atomically (temp file + rename) by whichever process computed the point
+— parent or pool worker — so an interrupted suite leaves a valid store
+and the next invocation completes only the missing points.
+
+Record layout::
+
+    {
+      "key":    {"experiment", "params", "seed", "code_version"},
+      "result": {"tables": [Table.to_dict(), ...]},
+      "meta":   {"elapsed_s", "created_at", "pid", "smoke"}
+    }
+
+``key`` + ``result`` are deterministic for a given point; ``meta`` is
+provenance only and excluded from any identity or comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterator, Optional
+
+from repro.exp.points import ExperimentPoint
+
+
+def default_store_dir() -> str:
+    """``benchmarks/results/store/`` (env ``REPRO_EXP_STORE`` overrides)."""
+    override = os.environ.get("REPRO_EXP_STORE")
+    if override:
+        return override
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "benchmarks", "results", "store")
+
+
+class ResultStore:
+    """Filesystem-backed, content-addressed point results."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = os.path.abspath(root or default_store_dir())
+
+    def path_for(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], f"{digest}.json")
+
+    def has(self, digest: str) -> bool:
+        return os.path.exists(self.path_for(digest))
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        path = self.path_for(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            # A torn record (e.g. the machine died mid-rename on a
+            # filesystem without atomic replace) reads as a miss; the
+            # scheduler will recompute and overwrite it.
+            return None
+
+    def put(
+        self,
+        point: ExperimentPoint,
+        result: Dict[str, Any],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Atomically persist one point record; returns its path."""
+        record = {"key": point.key(), "result": result, "meta": meta or {}}
+        path = self.path_for(point.digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".tmp-{point.digest[:8]}-", dir=os.path.dirname(path)
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, indent=1)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def delete(self, digest: str) -> bool:
+        path = self.path_for(digest)
+        try:
+            os.unlink(path)
+            return True
+        except FileNotFoundError:
+            return False
+
+    def digests(self) -> Iterator[str]:
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json") and not name.startswith("."):
+                    yield name[: -len(".json")]
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        for digest in self.digests():
+            record = self.get(digest)
+            if record is not None:
+                yield record
+
+    def invalidate(
+        self,
+        experiment: Optional[str] = None,
+        code_version: Optional[str] = None,
+    ) -> int:
+        """Delete records matching the filters (both ``None`` = all).
+
+        ``code_version`` may be prefixed with ``!`` to delete every
+        record whose version *differs* — i.e. drop stale results after a
+        code change.
+        """
+        removed = 0
+        for digest in list(self.digests()):
+            record = self.get(digest)
+            if record is None:
+                continue
+            key = record.get("key", {})
+            if experiment is not None and key.get("experiment") != experiment:
+                continue
+            if code_version is not None:
+                version = key.get("code_version")
+                if code_version.startswith("!"):
+                    if version == code_version[1:]:
+                        continue
+                elif version != code_version:
+                    continue
+            if self.delete(digest):
+                removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        per_experiment: Dict[str, int] = {}
+        total_bytes = 0
+        count = 0
+        for digest in self.digests():
+            record = self.get(digest)
+            if record is None:
+                continue
+            count += 1
+            total_bytes += os.path.getsize(self.path_for(digest))
+            name = record.get("key", {}).get("experiment", "?")
+            per_experiment[name] = per_experiment.get(name, 0) + 1
+        return {
+            "root": self.root,
+            "records": count,
+            "bytes": total_bytes,
+            "experiments": per_experiment,
+        }

@@ -1,0 +1,52 @@
+"""Cheap deterministic "experiments" for repro.exp scheduler tests.
+
+Lives in an importable module (not a test file) so spawned worker
+processes can resolve the ``fn_ref`` of toy :class:`ExperimentSpec`\\ s.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench.report import Table
+
+
+def toy_experiment(values=None, scale=1.0, seed=0):
+    """One table row per sweep value, a pure function of (value, seed).
+
+    Re-seeds per value, like the real figure functions: that is what
+    makes per-value points bit-identical to the whole sweep.
+    """
+    values = values or [1, 2, 3]
+    table = Table("Toy", ["value", "metric"])
+    for v in values:
+        rng = np.random.default_rng((seed, v))
+        table.add(v, float(scale * v + rng.standard_normal()))
+    table.note(f"last value {values[-1]}")
+    return table
+
+
+def toy_pair(values=None, seed=0):
+    """Two tables per point (multi-table figure shape)."""
+    values = values or [1]
+    a = Table("A", ["value", "x"])
+    b = Table("B", ["value", "y"])
+    rng = np.random.default_rng(seed)
+    for v in values:
+        a.add(v, float(rng.integers(0, 100)))
+        b.add(v, float(rng.integers(0, 100)))
+    return a, b
+
+
+def toy_slow(values=None, sleep_s=5.0, seed=0):
+    """Sleeps per value; used to exercise the per-point timeout."""
+    values = values or [1]
+    table = Table("Slow", ["value", "slept"])
+    for v in values:
+        time.sleep(sleep_s)
+        table.add(v, sleep_s)
+    return table
+
+
+def toy_failing(values=None, seed=0):
+    raise RuntimeError("this experiment always explodes")

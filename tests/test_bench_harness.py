@@ -42,6 +42,42 @@ def test_table_save(tmp_path):
     assert "42" in open(path).read()
 
 
+def test_table_to_dict_from_dict_roundtrip():
+    t = Table("T", ["x", "y"])
+    t.add(1, 2.5)
+    t.add(2, float("inf"))
+    t.note("a note")
+    data = t.to_dict()
+    assert data["title"] == "T"
+    assert data["headers"] == ["x", "y"]
+    assert data["notes"] == ["a note"]
+    back = Table.from_dict(data)
+    assert back.to_dict() == data
+    assert back.render() == t.render()
+
+
+def test_table_to_dict_coerces_numpy_scalars():
+    import numpy as np
+
+    t = Table("T", ["x"])
+    t.add(np.float64(1.5))
+    t.add(np.int64(3))
+    rows = t.to_dict()["rows"]
+    assert rows == [[1.5], [3]]
+    assert type(rows[0][0]) is float and type(rows[1][0]) is int
+
+
+def test_table_save_json(tmp_path):
+    import json
+
+    t = Table("T", ["x"])
+    t.add(42)
+    path = t.save_json("mytable", directory=str(tmp_path))
+    assert path.endswith("mytable.json")
+    with open(path) as fh:
+        assert json.load(fh) == t.to_dict()
+
+
 def test_fmt_scales():
     assert _fmt(0) in ("0", "0.0", "0")
     assert _fmt(1234.5) == "1,234"
@@ -153,3 +189,19 @@ def test_experiment_registry_covers_every_figure():
     }
     assert set(EXPERIMENTS) == expected
     assert all(callable(fn) for fn in EXPERIMENTS.values())
+
+
+def test_experiments_main_list(capsys):
+    from repro.bench.experiments import main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig02" in out and "ablation_node_failure" in out
+
+
+def test_experiments_main_reports_all_unknown_names(capsys):
+    from repro.bench.experiments import main
+
+    assert main(["fig02", "bogus1", "bogus2"]) == 2
+    out = capsys.readouterr().out
+    assert "bogus1" in out and "bogus2" in out

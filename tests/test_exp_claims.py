@@ -1,0 +1,186 @@
+"""Tests for the paper-claims verifier over synthetic store contents."""
+
+import pytest
+
+from repro.bench.report import Table
+from repro.exp.claims import CLAIMS, evaluate_claims, load_tables
+from repro.exp.registry import REGISTRY
+from repro.exp.store import ResultStore
+
+VERSION = "claims-test-v"
+
+
+def _put(store, name, tables):
+    """Store synthetic smoke records for one experiment.
+
+    Single-point experiments get the whole tables in one record;
+    multi-point sweeps get one table row per point (what the real
+    decomposition produces), with notes on the last point.
+    """
+    spec = REGISTRY[name]
+    points = spec.points(smoke=True, version=VERSION)
+    if len(points) == 1:
+        store.put(points[0], {"tables": [t.to_dict() for t in tables]})
+        return
+    for table in tables:
+        assert len(table.rows) == len(points), (name, table.title)
+    for i, point in enumerate(points):
+        parts = []
+        for table in tables:
+            part = Table(table.title, list(table.headers))
+            part.add(*table.rows[i])
+            if i == len(points) - 1:
+                part.notes = list(table.notes)
+            parts.append(part)
+        store.put(point, {"tables": [t.to_dict() for t in parts]})
+
+
+def _endtoend_tables(storm, rdma, whale):
+    table = Table("Throughput", ["parallelism", "storm", "rdma-storm", "whale"])
+    table.add(120, storm, rdma, whale)
+    latency = Table("Latency", ["parallelism", "storm", "rdma-storm", "whale"])
+    latency.add(120, 50.0, 20.0, 5.0)
+    return (table, latency)
+
+
+def _fig02_tables(collapse_ok=True):
+    table = Table(
+        "Storm bottleneck",
+        ["parallelism", "throughput", "latency", "src util", "down util"],
+    )
+    table.add(30, 10_000.0, 1.0, 0.40, 0.60)
+    last_thru = 2_000.0 if collapse_ok else 9_000.0
+    table.add(480, last_thru, 9.0, 0.97, 0.12)
+    return (table,)
+
+
+def _fig27_28_tables(whale_wins=True):
+    out = []
+    for title in ("Traffic (ride-hailing)", "Traffic (stocks)"):
+        table = Table(title, ["parallelism", "storm", "rdma-storm", "whale"])
+        whale_mb = 10.0 if whale_wins else 500.0
+        table.add(120, 400.0, 380.0, whale_mb)
+        out.append(table)
+    return tuple(out)
+
+
+def _fig23_24_tables(adaptive_wins=True, switched=True):
+    headers = ["time", "input rate", "throughput", "latency p50 (ms)"]
+    whale = Table("Whale adaptive", headers)
+    sequential = Table("Static sequential", headers)
+    for t in range(4):
+        whale.add(t, 5_000, 4_900, 1.0 if adaptive_wins else 50.0)
+        sequential.add(t, 5_000, 4_000, 10.0)
+    if switched:
+        whale.note("scale_up at t=1; scale_down at t=3")
+    return (whale, sequential)
+
+
+def _structure_tables(ordered=True):
+    headers = ["parallelism", "sequential", "binomial", "nonblocking"]
+    thru = Table("Throughput", headers)
+    thru.add(120, 2_000.0, 2_500.0, 2_600.0)
+    lat = Table("End-to-end latency", headers)
+    lat.add(120, 40.0, 20.0, 10.0)
+    mcast = Table("Multicast latency", headers)
+    if ordered:
+        mcast.add(120, 5.0, 1.5, 0.4)
+    else:
+        mcast.add(120, 0.4, 1.5, 5.0)
+    return (thru, lat, mcast)
+
+
+def _populate_all(store):
+    _put(store, "fig13_14", _endtoend_tables(1_000.0, 2_000.0, 3_000.0))
+    _put(store, "fig15_16", _endtoend_tables(900.0, 1_800.0, 2_700.0))
+    _put(store, "fig02", _fig02_tables())
+    _put(store, "fig27_28", _fig27_28_tables())
+    _put(store, "fig23_24", _fig23_24_tables())
+    _put(store, "fig17_18_21", _structure_tables())
+    _put(store, "fig19_20_22", _structure_tables())
+
+
+def test_empty_store_skips_every_claim(tmp_path):
+    store = ResultStore(str(tmp_path))
+    results = evaluate_claims(store, mode="smoke", version=VERSION)
+    assert len(results) == len(CLAIMS)
+    assert all(r.status == "SKIP" for r in results)
+    assert all("missing stored results" in r.details[0] for r in results)
+
+
+def test_conforming_results_pass_every_claim(tmp_path):
+    store = ResultStore(str(tmp_path))
+    _populate_all(store)
+    results = evaluate_claims(store, mode="smoke", version=VERSION)
+    assert {r.claim.name: r.status for r in results} == {
+        c.name: "PASS" for c in CLAIMS
+    }
+    # every PASS carries human-readable evidence
+    assert all(r.details for r in results)
+
+
+@pytest.mark.parametrize(
+    "name,tables,claim",
+    [
+        (
+            "fig13_14",
+            _endtoend_tables(3_000.0, 2_000.0, 1_000.0),
+            "throughput-ordering-ridehailing",
+        ),
+        ("fig02", _fig02_tables(collapse_ok=False), "storm-one-to-many-bottleneck"),
+        ("fig27_28", _fig27_28_tables(whale_wins=False), "woc-traffic-reduction"),
+        (
+            "fig23_24",
+            _fig23_24_tables(adaptive_wins=False),
+            "dstar-adaptation-latency",
+        ),
+        (
+            "fig23_24",
+            _fig23_24_tables(switched=False),
+            "dstar-adaptation-latency",
+        ),
+        (
+            "fig17_18_21",
+            _structure_tables(ordered=False),
+            "multicast-structure-latency-ridehailing",
+        ),
+    ],
+)
+def test_contradicting_results_fail_the_claim(tmp_path, name, tables, claim):
+    store = ResultStore(str(tmp_path))
+    _populate_all(store)
+    # overwrite one experiment with data that contradicts the paper
+    _put(store, name, tables)
+    results = {r.claim.name: r for r in
+               evaluate_claims(store, mode="smoke", version=VERSION)}
+    assert results[claim].status == "FAIL"
+    # the other claims are unaffected
+    others = [r for n, r in results.items() if n != claim]
+    assert all(r.status == "PASS" for r in others)
+
+
+def test_malformed_table_fails_instead_of_crashing(tmp_path):
+    store = ResultStore(str(tmp_path))
+    _populate_all(store)
+    broken = Table("Throughput", ["parallelism", "only-one-system"])
+    broken.add(120, 1.0)
+    _put(store, "fig13_14", (broken, broken))
+    results = {r.claim.name: r for r in
+               evaluate_claims(store, mode="smoke", version=VERSION)}
+    failed = results["throughput-ordering-ridehailing"]
+    assert failed.status == "FAIL"
+    assert "check raised" in failed.details[0]
+
+
+def test_load_tables_modes(tmp_path):
+    store = ResultStore(str(tmp_path))
+    _put(store, "fig13_14", _endtoend_tables(1.0, 2.0, 3.0))  # smoke points
+    spec = REGISTRY["fig13_14"]
+    assert load_tables(store, spec, mode="full", version=VERSION) is None
+    smoke = load_tables(store, spec, mode="smoke", version=VERSION)
+    assert smoke is not None and smoke[0].rows[0][0] == 120
+    # auto falls back to the smoke sweep when the full one is absent
+    auto = load_tables(store, spec, mode="auto", version=VERSION)
+    assert auto is not None
+    with pytest.raises(KeyError):
+        load_tables(store, spec, mode="bogus", version=VERSION)

@@ -1,0 +1,196 @@
+"""Tests for the process-pool scheduler: determinism, caching, resume.
+
+These use cheap toy specs from :mod:`tests._exp_toy` (a real module so
+spawned workers can resolve the ``fn_ref``); the parallel cases spawn
+actual worker processes.
+"""
+
+from repro.exp.points import canonical_json
+from repro.exp.registry import ExperimentSpec
+from repro.exp.scheduler import run_points
+from repro.exp.store import ResultStore
+
+TOY = ExperimentSpec(
+    name="toy",
+    fn_ref="tests._exp_toy:toy_experiment",
+    sweep_param="values",
+    sweep_values=(1, 2, 3, 4),
+    fixed={"scale": 2.0},
+    seed=5,
+    timeout_s=60.0,
+)
+
+
+def _tasks(spec, version="v1", smoke=False):
+    return [(spec, p) for p in spec.points(smoke=smoke, version=version)]
+
+
+def _identity(record):
+    """The bits that must match across runs (meta carries pid/timing)."""
+    return canonical_json({"key": record["key"], "result": record["result"]})
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+def test_parallel_and_sequential_runs_are_bit_identical(tmp_path):
+    seq_store = ResultStore(str(tmp_path / "seq"))
+    par_store = ResultStore(str(tmp_path / "par"))
+    tasks = _tasks(TOY)
+
+    seq = run_points(tasks, seq_store, jobs=1)
+    par = run_points(tasks, par_store, jobs=2)
+    assert [o.status for o in seq] == ["ok"] * len(tasks)
+    assert [o.status for o in par] == ["ok"] * len(tasks)
+
+    for _, point in tasks:
+        a = seq_store.get(point.digest)
+        b = par_store.get(point.digest)
+        assert a is not None and b is not None
+        assert _identity(a) == _identity(b)
+
+
+def test_outcomes_come_back_in_task_order(tmp_path):
+    store = ResultStore(str(tmp_path))
+    tasks = _tasks(TOY)
+    outcomes = run_points(tasks, store, jobs=2)
+    assert [o.point.digest for o in outcomes] == [p.digest for _, p in tasks]
+
+
+# ----------------------------------------------------------------------
+# caching
+# ----------------------------------------------------------------------
+def test_second_run_is_all_cache_hits(tmp_path):
+    store = ResultStore(str(tmp_path))
+    tasks = _tasks(TOY)
+    first = run_points(tasks, store, jobs=1)
+    assert all(o.status == "ok" for o in first)
+    second = run_points(tasks, store, jobs=1)
+    assert all(o.status == "cached" for o in second)
+    # force recomputes even with a warm store
+    third = run_points(tasks[:1], store, jobs=1, force=True)
+    assert third[0].status == "ok"
+
+
+def test_code_version_change_is_a_cache_miss_and_invalidation_prunes(tmp_path):
+    store = ResultStore(str(tmp_path))
+    run_points(_tasks(TOY, version="v1"), store, jobs=1)
+    # same experiment/params/seed under new code must recompute
+    fresh = run_points(_tasks(TOY, version="v2"), store, jobs=1)
+    assert all(o.status == "ok" for o in fresh)
+    assert store.stats()["records"] == 2 * len(TOY.sweep_values)
+    # prune every record not at the current digest
+    assert store.invalidate(code_version="!v2") == len(TOY.sweep_values)
+    assert all(
+        r["key"]["code_version"] == "v2" for r in store.records()
+    )
+
+
+# ----------------------------------------------------------------------
+# resume after interrupt
+# ----------------------------------------------------------------------
+def test_resume_computes_only_the_missing_points(tmp_path):
+    store = ResultStore(str(tmp_path))
+    tasks = _tasks(TOY)
+    # an "interrupted" run persisted only the first half of the points
+    run_points(tasks[:2], store, jobs=1)
+
+    events = []
+    run_points(
+        tasks,
+        store,
+        jobs=1,
+        progress=lambda ev, label, status, done, total, el: events.append(
+            (status, label)
+        ),
+    )
+    statuses = [s for s, _ in events]
+    assert statuses.count("cached") == 2
+    assert statuses.count("ok") == 2
+    # and the resumed store ends up complete
+    assert all(store.has(p.digest) for _, p in tasks)
+
+
+def test_resume_survives_a_torn_record(tmp_path):
+    store = ResultStore(str(tmp_path))
+    tasks = _tasks(TOY)
+    run_points(tasks, store, jobs=1)
+    # corrupt one record as a crash mid-write would (non-atomic writer)
+    victim = tasks[1][1]
+    with open(store.path_for(victim.digest), "w") as fh:
+        fh.write('{"key":')
+    assert store.get(victim.digest) is None
+    outcomes = run_points(tasks, store, jobs=1, force=True)
+    assert all(o.status == "ok" for o in outcomes)
+    assert store.get(victim.digest) is not None
+
+
+# ----------------------------------------------------------------------
+# failure handling
+# ----------------------------------------------------------------------
+def test_sequential_error_is_reported_and_not_stored(tmp_path):
+    failing = ExperimentSpec(
+        name="boom",
+        fn_ref="tests._exp_toy:toy_failing",
+        sweep_param="values",
+        sweep_values=(1,),
+        timeout_s=30.0,
+    )
+    store = ResultStore(str(tmp_path))
+    (outcome,) = run_points(_tasks(failing), store, jobs=1)
+    assert outcome.status == "error"
+    assert "explodes" in outcome.error
+    assert not outcome.computed
+    assert store.stats()["records"] == 0
+
+
+def test_parallel_error_does_not_sink_the_rest_of_the_shard(tmp_path):
+    failing = ExperimentSpec(
+        name="boom",
+        fn_ref="tests._exp_toy:toy_failing",
+        sweep_param="values",
+        sweep_values=(1,),
+        timeout_s=30.0,
+    )
+    store = ResultStore(str(tmp_path))
+    tasks = _tasks(failing) + _tasks(TOY)
+    outcomes = run_points(tasks, store, jobs=2)
+    by_name = {}
+    for o in outcomes:
+        by_name.setdefault(o.spec.name, []).append(o.status)
+    assert by_name["boom"] == ["error"]
+    assert by_name["toy"] == ["ok"] * len(TOY.sweep_values)
+    assert store.stats()["records"] == len(TOY.sweep_values)
+
+
+def test_timeout_kills_the_point_and_the_shard_recovers(tmp_path):
+    slow = ExperimentSpec(
+        name="slow",
+        fn_ref="tests._exp_toy:toy_slow",
+        sweep_param="values",
+        sweep_values=(1,),
+        fixed={"sleep_s": 60.0},
+        timeout_s=2.0,
+    )
+    quick = ExperimentSpec(
+        name="toy",
+        fn_ref="tests._exp_toy:toy_experiment",
+        sweep_param="values",
+        sweep_values=(1, 2),
+        seed=5,
+        timeout_s=60.0,
+    )
+    store = ResultStore(str(tmp_path))
+    # shard 0 gets [slow, quick#2], shard 1 gets [quick#1]: the slow
+    # point must time out and quick#2 must still complete in a
+    # respawned worker
+    tasks = _tasks(slow) + _tasks(quick)
+    outcomes = run_points(tasks, store, jobs=2)
+    by_name = {}
+    for o in outcomes:
+        by_name.setdefault(o.spec.name, []).append(o)
+    (timed_out,) = by_name["slow"]
+    assert timed_out.status == "timeout"
+    assert "timeout" in timed_out.error
+    assert not store.has(timed_out.point.digest)
+    assert [o.status for o in by_name["toy"]] == ["ok", "ok"]

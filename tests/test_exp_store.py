@@ -1,0 +1,152 @@
+"""Tests for the content-addressed result store and point identity."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.report import Table
+from repro.exp.points import ExperimentPoint, canonical_json, code_version
+from repro.exp.store import ResultStore, default_store_dir
+
+
+def _point(experiment="exp", params=None, seed=1, version="v1", index=0):
+    return ExperimentPoint(
+        experiment=experiment,
+        index=index,
+        params=params if params is not None else {"p": [120]},
+        seed=seed,
+        code_version=version,
+    )
+
+
+# ----------------------------------------------------------------------
+# point identity
+# ----------------------------------------------------------------------
+def test_digest_is_deterministic_and_order_insensitive():
+    a = _point(params={"a": 1, "b": 2})
+    b = _point(params={"b": 2, "a": 1})
+    assert a.digest == b.digest
+    assert len(a.digest) == 64
+
+
+@pytest.mark.parametrize(
+    "other",
+    [
+        _point(experiment="other"),
+        _point(params={"p": [240]}),
+        _point(seed=2),
+        _point(version="v2"),
+    ],
+)
+def test_digest_changes_with_any_key_component(other):
+    assert _point().digest != other.digest
+
+
+def test_key_records_all_identity_fields():
+    point = _point()
+    key = point.key()
+    assert key == {
+        "experiment": "exp",
+        "params": {"p": [120]},
+        "seed": 1,
+        "code_version": "v1",
+    }
+    # canonical json round-trips the key exactly
+    assert json.loads(canonical_json(key)) == key
+
+
+def test_point_label_names_params():
+    assert _point().label == "exp[p=[120]]"
+    assert _point(params={}).label == "exp"
+
+
+def test_code_version_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_EXP_CODE_VERSION", "pinned")
+    assert code_version() == "pinned"
+    monkeypatch.delenv("REPRO_EXP_CODE_VERSION")
+    version = code_version()
+    assert version != "pinned" and len(version) == 16
+    # stable within a process
+    assert code_version() == version
+
+
+# ----------------------------------------------------------------------
+# store
+# ----------------------------------------------------------------------
+def test_store_roundtrip_and_layout(tmp_path):
+    store = ResultStore(str(tmp_path))
+    point = _point()
+    table = Table("T", ["x", "y"])
+    table.add(1, 2.5)
+    assert not store.has(point.digest)
+    path = store.put(point, {"tables": [table.to_dict()]}, meta={"elapsed_s": 0.1})
+    assert path == store.path_for(point.digest)
+    assert os.path.dirname(path).endswith(point.digest[:2])
+    record = store.get(point.digest)
+    assert record["key"] == point.key()
+    assert record["result"]["tables"][0]["rows"] == [[1, 2.5]]
+    assert record["meta"]["elapsed_s"] == 0.1
+    assert store.has(point.digest)
+    # no stray temp files after a successful put
+    assert not [
+        n for n in os.listdir(os.path.dirname(path)) if n.startswith(".tmp")
+    ]
+
+
+def test_store_miss_and_torn_record(tmp_path):
+    store = ResultStore(str(tmp_path))
+    assert store.get("ab" + "0" * 62) is None
+    point = _point()
+    path = store.path_for(point.digest)
+    os.makedirs(os.path.dirname(path))
+    with open(path, "w") as fh:
+        fh.write('{"key": {"exper')  # torn write
+    assert store.get(point.digest) is None  # reads as a miss, not a crash
+
+
+def test_cache_hit_vs_miss_on_code_version_change(tmp_path):
+    """The content address includes the code digest: same experiment,
+    params, and seed under new code is a *miss*."""
+    store = ResultStore(str(tmp_path))
+    old = _point(version="v1")
+    new = _point(version="v2")
+    store.put(old, {"tables": []})
+    assert store.has(old.digest)
+    assert not store.has(new.digest)
+
+
+def test_invalidate_filters(tmp_path):
+    store = ResultStore(str(tmp_path))
+    store.put(_point(experiment="a", version="v1"), {"tables": []})
+    store.put(_point(experiment="b", version="v1"), {"tables": []})
+    store.put(_point(experiment="b", version="v2"), {"tables": []})
+    assert store.stats()["records"] == 3
+    # invalidate one experiment
+    assert store.invalidate(experiment="a") == 1
+    # drop records NOT at the current version
+    assert store.invalidate(code_version="!v2") == 1
+    remaining = list(store.records())
+    assert len(remaining) == 1
+    assert remaining[0]["key"]["code_version"] == "v2"
+    # invalidate everything
+    assert store.invalidate() == 1
+    assert store.stats()["records"] == 0
+
+
+def test_stats_counts_per_experiment(tmp_path):
+    store = ResultStore(str(tmp_path))
+    store.put(_point(experiment="a", params={"p": [1]}), {"tables": []})
+    store.put(_point(experiment="a", params={"p": [2]}), {"tables": []})
+    store.put(_point(experiment="b"), {"tables": []})
+    stats = store.stats()
+    assert stats["records"] == 3
+    assert stats["experiments"] == {"a": 2, "b": 1}
+    assert stats["bytes"] > 0
+
+
+def test_default_store_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_EXP_STORE", str(tmp_path / "elsewhere"))
+    assert default_store_dir() == str(tmp_path / "elsewhere")
+    monkeypatch.delenv("REPRO_EXP_STORE")
+    assert default_store_dir().endswith(os.path.join("benchmarks", "results", "store"))
