@@ -1,0 +1,169 @@
+"""Steady-state fast-forward: honest truncation of measurement windows.
+
+A measured point is over-driven (offered rate = 1.1x the analytic
+sustainable rate), so after the warmup transient the system settles into
+a statistical steady state: the sink rate fluctuates around the
+bottleneck capacity and the in-flight population around the queue-bound
+level implied by the M/D/1 forms in :mod:`repro.analytic.latency`.
+Simulating the rest of the measurement window then only narrows the
+estimator's confidence interval — it does not move the estimate.
+
+The fast-forward path slices the measurement window into
+:attr:`FastForwardPolicy.n_slices` equal pieces and, after each slice,
+feeds the cumulative completion count and in-flight population to a
+:class:`SteadyStateDetector`.  When the last ``min_slices`` per-slice
+sink rates agree within ``rel_eps`` of their mean *and* the in-flight
+population has stopped trending, the window is closed early and every
+reported rate uses the *actual* (shorter) window duration — an honest
+truncation, never an extrapolation of counts.
+
+Correctness envelope:
+
+* It is **opt-in** (``run_app(fast_forward=True)`` or
+  ``REPRO_FAST_FORWARD=1``) and automatically disabled for runs with a
+  fault schedule — transients are the point of those runs.
+* Detection is validated against the closed forms: for an M/D/1-like
+  stage the measured steady wait must straddle
+  :func:`repro.analytic.latency.queueing_wait_md1`
+  (``tests/test_fastforward.py``).
+* Counts (drops, wire bytes, emitted tuples) are reported over the
+  shorter window as-is; only rates are comparable across fast-forward
+  and full-window runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional
+
+#: Environment switch consulted when ``run_app`` is not passed an
+#: explicit ``fast_forward`` argument.
+ENV_VAR = "REPRO_FAST_FORWARD"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def resolve(explicit: Optional[bool] = None) -> bool:
+    """Resolve the fast-forward setting: explicit argument, else env."""
+    if explicit is not None:
+        return bool(explicit)
+    return os.environ.get(ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+@dataclass(frozen=True)
+class FastForwardPolicy:
+    """Knobs of the steady-state detector.
+
+    The defaults trade roughly half the measurement window for a sink-
+    rate estimate whose extra sampling noise stays well inside the
+    differential-test tolerance (see ``tests/test_fastforward.py``).
+    """
+
+    #: number of equal slices the measurement window is cut into
+    n_slices: int = 8
+    #: consecutive slices that must agree before truncating
+    min_slices: int = 3
+    #: relative band around the mean slice rate that counts as "agreeing"
+    rel_eps: float = 0.15
+    #: never truncate before this many completions are in the window
+    #: (keeps the latency summaries statistically meaningful)
+    min_completed: int = 120
+    #: relative band for the in-flight population (absolute floor of 5)
+    inflight_eps: float = 0.35
+
+
+DEFAULT_POLICY = FastForwardPolicy()
+
+
+class SteadyStateDetector:
+    """Declares steady state from per-slice sink counts and in-flight.
+
+    Feed it cumulative values after every slice with :meth:`observe`;
+    :attr:`steady` turns true once the trailing ``min_slices`` slice
+    counts agree within ``rel_eps`` of their mean, the in-flight
+    population is flat to ``inflight_eps``, and at least
+    ``min_completed`` tuples completed in the window so far.
+    """
+
+    def __init__(self, policy: FastForwardPolicy = DEFAULT_POLICY):
+        self.policy = policy
+        self._completed: List[int] = []  # cumulative, one entry per slice
+        self._inflight: List[int] = []
+
+    # ------------------------------------------------------------------
+    def observe(self, completed_total: int, in_flight: int) -> None:
+        """Record the state at the end of one slice."""
+        self._completed.append(int(completed_total))
+        self._inflight.append(int(in_flight))
+
+    @property
+    def slices_seen(self) -> int:
+        return len(self._completed)
+
+    @property
+    def slice_counts(self) -> List[int]:
+        prev = 0
+        counts = []
+        for total in self._completed:
+            counts.append(total - prev)
+            prev = total
+        return counts
+
+    # ------------------------------------------------------------------
+    @property
+    def steady(self) -> bool:
+        p = self.policy
+        if len(self._completed) < p.min_slices:
+            return False
+        if self._completed[-1] < p.min_completed:
+            return False
+        tail = self.slice_counts[-p.min_slices :]
+        mean = sum(tail) / len(tail)
+        if mean <= 0:
+            return False
+        band = max(p.rel_eps * mean, 3.0)
+        if any(abs(c - mean) > band for c in tail):
+            return False
+        itail = self._inflight[-p.min_slices :]
+        imean = sum(itail) / len(itail)
+        iband = max(p.inflight_eps * imean, 5.0)
+        return all(abs(i - imean) <= iband for i in itail)
+
+
+def run_measured_window(
+    system,
+    until: float,
+    fast_forward: Optional[bool] = None,
+    policy: FastForwardPolicy = DEFAULT_POLICY,
+) -> float:
+    """Open, run, and close ``system``'s measurement window.
+
+    Runs the simulation from ``system.sim.now`` to ``until``; with
+    fast-forward resolved on, the window is sliced and closed at the
+    first slice boundary where the :class:`SteadyStateDetector` declares
+    steady state.  Returns the actual window duration.  Rate-style
+    metrics computed against ``metrics.window_duration`` stay honest
+    under truncation by construction.
+    """
+    sim = system.sim
+    metrics = system.metrics
+    metrics.open_window()
+    if not resolve(fast_forward):
+        sim.run(until=until)
+        metrics.close_window()
+        return metrics.window_duration
+    start = sim.now
+    slice_s = (until - start) / policy.n_slices
+    detector = SteadyStateDetector(policy)
+    tracker = metrics.completion
+    for i in range(1, policy.n_slices + 1):
+        sim.run(until=start + i * slice_s)
+        # Realize lazily-batched completions before reading the
+        # cumulative counters the detector feeds on.
+        metrics.flush()
+        detector.observe(tracker.completed, tracker.outstanding)
+        if detector.steady:
+            break
+    metrics.close_window()
+    return metrics.window_duration

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.analytic.fastforward import run_measured_window
 from repro.bench.report import Series, Table
 from repro.bench.runner import AppRun, run_app
 from repro.core import (
@@ -149,9 +150,7 @@ def fig03_rdmc_blocking(
         )
         system.start()
         system.sim.run(until=0.08)  # long enough for Q=64 to block
-        system.metrics.open_window()
-        system.sim.run(until=0.2)
-        system.metrics.close_window()
+        run_measured_window(system, 0.2)
         m = system.metrics
         src = system.source_executor("src")
         # Throughput = tuples processed per unit time (drain rate at the

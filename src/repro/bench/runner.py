@@ -22,6 +22,10 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.analytic import SystemShape, sustainable_rate
+from repro.analytic.fastforward import (
+    resolve as resolve_fast_forward,
+    run_measured_window,
+)
 from repro.apps.ridehailing import (
     MATCH_BASE_S,
     MATCH_PER_DRIVER_S,
@@ -119,6 +123,7 @@ def run_app(
     trace_path: Optional[str] = None,
     fault_schedule=None,
     check: Optional[str] = None,
+    fast_forward: Optional[bool] = None,
 ) -> AppRun:
     """Measure one (app, variant, parallelism) point.
 
@@ -129,6 +134,11 @@ def run_app(
     recoveries at the scheduled sim times.  ``check`` attaches a runtime
     :class:`~repro.check.InvariantChecker` (``"strict"`` raises on the
     first breach, ``"warn"`` collects into ``AppRun.check_report``).
+    ``fast_forward`` closes the measurement window early once the sink
+    rate and in-flight population are statistically steady
+    (:mod:`repro.analytic.fastforward`); ``None`` defers to the
+    ``REPRO_FAST_FORWARD`` environment variable.  Fault-schedule runs
+    always use the full window — their transients are the measurement.
     """
     if app == "ridehailing":
         topology = ride_hailing_topology(
@@ -192,6 +202,9 @@ def run_app(
         # Reset traffic counters after warmup by snapshotting.
         system.start()
         system.sim.run(until=warmup_s)
+        # Realize lazily-batched completions before snapshotting/resetting
+        # counters, so warmup work is attributed to warmup.
+        system.metrics.flush()
         data0 = system.traffic_bytes("data")
         ctrl0 = system.traffic_bytes("control")
         src = (
@@ -209,9 +222,13 @@ def run_app(
         for ex in downstream:
             ex.cpu.reset()
         window_start = system.sim.now
-        system.metrics.open_window()
-        system.sim.run(until=warmup_s + measure_s)
-        system.metrics.close_window()
+        ff_on = resolve_fast_forward(fast_forward) and fault_schedule is None
+        measured_s = run_measured_window(
+            system, warmup_s + measure_s, fast_forward=ff_on
+        )
+        if not ff_on:
+            # Keep the exact float the window math was derived from.
+            measured_s = measure_s
         check_report = checker.finalize() if checker is not None else None
         metrics = system.metrics
     finally:
@@ -233,8 +250,8 @@ def run_app(
         variant=config.name,
         parallelism=parallelism,
         offered_rate=offered_rate,
-        duration_s=measure_s,
-        throughput=metrics.completion.completed / measure_s,
+        duration_s=measured_s,
+        throughput=metrics.completion.completed / measured_s,
         processing_latency=completion,
         multicast_latency=multicast,
         drops=sum(metrics.dropped.values()),

@@ -80,8 +80,11 @@ class InstancePacket:
     tuples: List[AddressedTuple]
     deserialize_cpu_s: float  # total for all entries
 
-    def deliver(self, worker: "Worker") -> Iterator:
-        yield from worker.cpu.work(self.deserialize_cpu_s, cats.DESERIALIZATION)
+    def deliver(self, worker: "Worker", charge_deser: bool = True) -> Iterator:
+        if charge_deser:
+            yield from worker.cpu.work(
+                self.deserialize_cpu_s, cats.DESERIALIZATION
+            )
         for at in self.tuples:
             worker.dispatch_local(at)
 
@@ -96,8 +99,11 @@ class WorkerPacket:
     #: relay coordinates: (service, endpoint id) when part of a multicast.
     relay: Optional[Tuple["MulticastService", Any]] = None
 
-    def deliver(self, worker: "Worker") -> Iterator:
-        yield from worker.cpu.work(self.deserialize_cpu_s, cats.DESERIALIZATION)
+    def deliver(self, worker: "Worker", charge_deser: bool = True) -> Iterator:
+        if charge_deser:
+            yield from worker.cpu.work(
+                self.deserialize_cpu_s, cats.DESERIALIZATION
+            )
         for task_id in self.dst_tasks:
             worker.dispatch_local(AddressedTuple(task_id, self.tuple))
         if self.relay is not None:

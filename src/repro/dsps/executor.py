@@ -17,7 +17,8 @@ emission loop.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
 
 from repro.dsps.api import Bolt, Spout, TupleContext
 from repro.dsps.comm import Envelope
@@ -219,7 +220,29 @@ class ExecutorBase:
 
 
 class BoltExecutor(ExecutorBase):
-    """Working thread + sending thread around one Bolt instance."""
+    """Working thread + sending thread around one Bolt instance.
+
+    **Batched dispatch** (``SystemConfig.batched_dispatch``): a bolt's
+    working thread is a pure FIFO single-server, so per-tuple completion
+    instants are a deterministic function of arrival instants:
+    ``done = max(now, busy_until) + service``.  For untraced runs with no
+    reliability tracking, ``accept`` computes that arithmetic directly
+    instead of a queue hand-off event plus a service timeout per tuple:
+
+    * ``"timed"`` mode (bolts with downstream edges): one completion
+      timeout per tuple fires a flat callback at exactly ``done``, where
+      the bolt executes and emits — downstream timing is unchanged, but
+      the hand-off event and both generator resumes are gone;
+    * ``"lazy"`` mode (terminal sinks with no downstream): no per-tuple
+      events at all — completed work is *flushed* on the next accept, on
+      one re-armed drain timer per busy period, and at measurement-window
+      boundaries (:meth:`MetricsHub.flush`), with metrics taking the
+      computed completion instants.
+
+    Observable results match the event-resolved path up to same-instant
+    tie ordering.  The gate decision freezes at the first accepted tuple
+    — attach tracers/checkers before traffic starts.
+    """
 
     def __init__(self, system: "DspsSystem", task_id: int):
         super().__init__(system, task_id)
@@ -228,9 +251,45 @@ class BoltExecutor(ExecutorBase):
             self.sim, capacity=system.config.executor_queue_capacity
         )
         self.processed = 0
+        #: dispatch mode, frozen at first accept:
+        #: ``None`` = undecided, then "slow" | "timed" | "lazy".
+        self._mode: Optional[str] = None
+        #: arithmetic FIFO of ``[done, service, tuple, live]``; the head
+        #: may be in service, everything behind it is queued.
+        self._fifo: Deque[list] = deque()
+        self._busy_until = self.sim.now
+        self._timer_armed = False
 
     def halt(self) -> None:
         super().halt()
+        mode = self._mode
+        if mode == "lazy":
+            self._flush_completed()
+        if mode in ("lazy", "timed"):
+            fifo = self._fifo
+            now = self.sim.now
+            zombie = None
+            if fifo and fifo[0][0] - fifo[0][1] <= now:
+                # Mid-service head: the CPU was committed at service
+                # start, the crash eats the output; the thread stays
+                # busy until its `done` (and, in timed mode, the live
+                # completion callback re-checks `halted` — so a recovery
+                # before `done` still lets it execute, exactly like the
+                # event-resolved loop's post-service halt check).
+                zombie = fifo.popleft()
+            while fifo:
+                entry = fifo.popleft()
+                entry[3] = False
+            if zombie is not None:
+                self._busy_until = zombie[0]
+                if mode == "timed":
+                    fifo.append(zombie)
+                elif zombie[1] > 0:
+                    # Lazy mode has no completion callback; settle the
+                    # committed CPU here and let the output die.
+                    self.cpu.charge(zombie[1], cats.PROCESSING)
+            else:
+                self._busy_until = now
         self.inqueue.clear()
 
     def start(self) -> None:
@@ -238,12 +297,119 @@ class BoltExecutor(ExecutorBase):
         self.bolt.prepare(self.context())
         self.sim.process(self._work_loop())
 
+    def _pick_mode(self) -> str:
+        if not (
+            self.system.config.batched_dispatch
+            and self.system.reliability is None
+            and self.sim.tracer is None
+        ):
+            return "slow"
+        if self.spec.terminal and not self._groupings:
+            return "lazy"
+        return "timed"
+
     def accept(self, at: AddressedTuple) -> bool:
         """Dispatcher entry point: enqueue a tuple (False = overflow)."""
-        ok = self.inqueue.try_put(at)
-        if not ok:
+        mode = self._mode
+        if mode is None:
+            mode = self._mode = self._pick_mode()
+            if mode == "lazy":
+                self.system.metrics.add_flush_hook(self._flush_completed)
+        if mode == "slow":
+            ok = self.inqueue.try_put(at)
+            if not ok:
+                self.system.metrics.on_drop(f"{self.operator}.inqueue")
+            return ok
+        if mode == "lazy":
+            self._flush_completed()
+        if self.halted:
+            # Accepted into a crashed executor: the tuple is absorbed and
+            # dies unprocessed (the event-resolved work loop drains and
+            # discards it the same way).
+            return True
+        fifo = self._fifo
+        queued = len(fifo) - 1 if fifo else 0
+        if queued >= self.system.config.executor_queue_capacity:
             self.system.metrics.on_drop(f"{self.operator}.inqueue")
-        return ok
+            return False
+        sim = self.sim
+        now = sim.now
+        tup = at.tuple
+        service = self.bolt.service_time(tup)
+        start = self._busy_until
+        if start < now:
+            start = now
+        done = start + service
+        self._busy_until = done
+        entry = [done, service, tup, True]
+        fifo.append(entry)
+        if mode == "timed":
+            sim.schedule_call(done - now, lambda: self._complete_timed(entry))
+        elif not self._timer_armed:
+            self._arm_timer(done)
+        return True
+
+    # ------------------------------------------------------------------
+    # batched-dispatch machinery
+    # ------------------------------------------------------------------
+    def _complete_timed(self, entry: list) -> None:
+        """Timed-mode completion: runs at exactly the service-done
+        instant, so emission timing matches the event-resolved path."""
+        if not entry[3]:
+            return
+        self._fifo.popleft()  # live completions fire in FIFO order
+        _done, service, tup, _live = entry
+        if service > 0:
+            self.cpu.charge(service, cats.PROCESSING)
+        if self.halted:
+            return  # crash landed mid-service: no output, no ack
+        metrics = self.system.metrics
+        self.bolt.execute(tup, self.collector)
+        self.processed += 1
+        metrics.on_processed(self.operator)
+        metrics.completion.on_executed(tup.tuple_id, self.task_id)
+        if self.spec.terminal:
+            metrics.on_sink_latency(
+                self.operator, self.sim.now - tup.created_at
+            )
+
+    def _arm_timer(self, at: float) -> None:
+        """Keep one drain timer alive per busy period, so the event queue
+        never runs dry while lazy-mode work is logically pending."""
+        self._timer_armed = True
+        self.sim.schedule_call(at - self.sim.now, self._on_timer)
+
+    def _on_timer(self) -> None:
+        self._timer_armed = False
+        self._flush_completed()
+        if self._fifo and not self._timer_armed:
+            self._arm_timer(self._busy_until)
+
+    def _flush_completed(self) -> None:
+        fifo = self._fifo
+        if not fifo:
+            return
+        now = self.sim.now
+        if fifo[0][0] > now:
+            return
+        metrics = self.system.metrics
+        completion = metrics.completion
+        bolt = self.bolt
+        collector = self.collector
+        cpu = self.cpu
+        operator = self.operator
+        task_id = self.task_id
+        while fifo and fifo[0][0] <= now:
+            done, service, tup, live = fifo.popleft()
+            if not live:
+                continue
+            if service > 0:
+                cpu.charge(service, cats.PROCESSING)
+            bolt.execute(tup, collector)
+            self.processed += 1
+            metrics.on_processed_at(operator, done)
+            completion.on_executed(tup.tuple_id, task_id, at=done)
+            metrics.on_sink_latency_at(operator, done - tup.created_at, at=done)
 
     def _work_loop(self):
         metrics = self.system.metrics

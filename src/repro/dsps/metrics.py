@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -130,7 +130,12 @@ class CompletionTracker:
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self._pending: Dict[int, Tuple[float, set]] = {}
+        #: root id -> [created_at, outstanding task ids, latest execution
+        #: instant].  The explicit instant matters for batched dispatch:
+        #: executors flush completed work lazily, so calls may arrive out
+        #: of completion-time order — "the last instance executed it" is
+        #: the running *max* of execution times, not the last call.
+        self._pending: Dict[int, list] = {}
         self.latencies: List[float] = []
         self.completed = 0
         #: see :class:`MulticastTracker`: conservation counters for
@@ -146,22 +151,28 @@ class CompletionTracker:
             raise ValueError("destinations must be non-empty")
         entry = self._pending.get(root_id)
         if entry is None:
-            self._pending[root_id] = (created_at, destinations)
+            self._pending[root_id] = [created_at, destinations, -math.inf]
             self.registered += 1
         else:
             entry[1].update(destinations)
 
-    def on_executed(self, root_id: int, destination: int) -> None:
+    def on_executed(
+        self, root_id: int, destination: int, at: Optional[float] = None
+    ) -> None:
         entry = self._pending.get(root_id)
         if entry is None:
             return
-        created_at, outstanding = entry
+        created_at, outstanding, _latest = entry
         if destination not in outstanding:
             return  # duplicate execution at this instance
         outstanding.discard(destination)
+        if at is None:
+            at = self.sim.now
+        if at > entry[2]:
+            entry[2] = at
         if not outstanding:
             del self._pending[root_id]
-            self.latencies.append(self.sim.now - created_at)
+            self.latencies.append(entry[2] - created_at)
             self.completed += 1
 
     def cancel(self, root_id: int) -> None:
@@ -189,6 +200,11 @@ class MetricsHub:
         self.multicast = MulticastTracker(sim)
         self.completion = CompletionTracker(sim)
         self._window: Optional[Tuple[float, Optional[float]]] = None
+        #: callbacks that realize lazily-batched work (batched-dispatch
+        #: executors register here); run by :meth:`flush` so window
+        #: boundaries and end-of-run reporting see every completion that
+        #: is logically due.
+        self._flush_hooks: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # measurement window
@@ -199,9 +215,21 @@ class MetricsHub:
         if tracer is not None:
             tracer.emit("metrics.window", self.sim.now, action="open")
 
+    def add_flush_hook(self, hook: "Callable[[], None]") -> None:
+        """Register a callback that realizes lazily-batched completions."""
+        self._flush_hooks.append(hook)
+
+    def flush(self) -> None:
+        """Realize every batched completion due at or before ``sim.now``."""
+        for hook in self._flush_hooks:
+            hook()
+
     def close_window(self) -> None:
         if self._window is None:
             raise RuntimeError("close_window() before open_window()")
+        # Realize batched completions *before* the end is set, so work
+        # that logically finished inside the window is counted in it.
+        self.flush()
         start, _ = self._window
         self._window = (start, self.sim.now)
         tracer = self.sim.tracer
@@ -214,6 +242,14 @@ class MetricsHub:
             return False
         start, end = self._window
         return self.sim.now >= start and (end is None or self.sim.now <= end)
+
+    def in_window_at(self, t: float) -> bool:
+        """Window membership of an explicit instant (for lazily-flushed
+        completions whose logical time is not ``sim.now``)."""
+        if self._window is None:
+            return False
+        start, end = self._window
+        return t >= start and (end is None or t <= end)
 
     @property
     def window_duration(self) -> float:
@@ -239,6 +275,17 @@ class MetricsHub:
 
     def on_sink_latency(self, operator: str, latency_s: float) -> None:
         if self.in_window:
+            self.sink_latencies[operator].append(latency_s)
+
+    # --- explicit-instant variants (batched-dispatch flush path) ------
+    def on_processed_at(self, operator: str, t: float) -> None:
+        if self.in_window_at(t):
+            self.processed[operator] += 1
+
+    def on_sink_latency_at(
+        self, operator: str, latency_s: float, at: float
+    ) -> None:
+        if self.in_window_at(at):
             self.sink_latencies[operator].append(latency_s)
 
     # ------------------------------------------------------------------

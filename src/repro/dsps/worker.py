@@ -106,22 +106,42 @@ class Worker:
 
     # ------------------------------------------------------------------
     def _receive_loop(self):
+        sim = self.sim
+        cpu = self.cpu
         while True:
             msg = yield self.inbox.get()
             if self.crashed:
                 continue  # raced the crash; the fabric drops the rest
             self.messages_received += 1
-            if msg.recv_cpu_s > 0:
-                yield from self.cpu.work(msg.recv_cpu_s, cats.NETWORK)
             payload = msg.payload
             if msg.kind == "control":
+                if msg.recv_cpu_s > 0:
+                    yield from cpu.work(msg.recv_cpu_s, cats.NETWORK)
                 if isinstance(payload, HeartbeatPing):
                     self.sim.process(self._answer_heartbeat(payload))
                 else:
                     for handler in self._control_handlers:
                         handler(payload)
                 continue
-            yield from payload.deliver(self)
+            deser = getattr(payload, "deserialize_cpu_s", None)
+            if deser is None:
+                # PacketGroup (sliced WR) or other composite payload:
+                # the event-resolved path charges per packet.
+                if msg.recv_cpu_s > 0:
+                    yield from cpu.work(msg.recv_cpu_s, cats.NETWORK)
+                yield from payload.deliver(self)
+                continue
+            # Fused receive + deserialize: both CPU categories are
+            # charged separately but the thread blocks once, halving the
+            # per-message event count on the receive path.
+            if msg.recv_cpu_s > 0:
+                cpu.charge(msg.recv_cpu_s, cats.NETWORK)
+            if deser > 0:
+                cpu.charge(deser, cats.DESERIALIZATION)
+            total = msg.recv_cpu_s + deser
+            if total > 0:
+                yield sim.timeout(total)
+            yield from payload.deliver(self, charge_deser=False)
 
     def _answer_heartbeat(self, ping: HeartbeatPing):
         if self.crashed:

@@ -13,80 +13,118 @@ the evaluation's receivers are many and lightly loaded.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import TYPE_CHECKING, Callable, Dict, Optional  # noqa: F401
+from collections import defaultdict, deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional  # noqa: F401
 
 from repro.net.cluster import Cluster
 from repro.net.message import WireMessage
-from repro.sim.resources import Store
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
 
 Receiver = Callable[[WireMessage], None]
 
+# FIFO entry of an arithmetic link server: [start, done, msg, live].
+# ``live`` goes False when the entry is cancelled (crash drop); its
+# completion timeout then fires into a no-op.
+_START, _DONE, _MSG, _LIVE = 0, 1, 2, 3
+
 
 class NicPort:
-    """One machine's egress port on a fabric (FIFO at link bandwidth)."""
+    """One machine's egress port on a fabric (FIFO at link bandwidth).
+
+    The port is an *arithmetic* FIFO server: because transmission times
+    are a pure function of message size, each message's start/done
+    instants are computed at enqueue (``start = max(now, busy_until)``)
+    and exactly one completion timeout is scheduled — there is no drain
+    process and no per-message queue hand-off event.  The head entry with
+    ``start <= now`` is in transmission; like the old drain loop's
+    in-flight message it completes and propagates even if the machine
+    crashes mid-transmission (the sender NIC had already committed the
+    wire time).
+    """
 
     def __init__(self, sim: "Simulator", fabric: "Fabric", machine_id: int):
         self.sim = sim
         self.fabric = fabric
         self.machine_id = machine_id
-        self._egress: Store = Store(sim)
+        self._fifo: Deque[list] = deque()
+        self._busy_until = sim.now
         self.bytes_sent = 0
         self.messages_sent = 0
-        self._resume = None  # event set while the machine is crashed
-        sim.process(self._drain())
+        self._paused = False
 
     def enqueue(self, msg: WireMessage) -> None:
         """Hand a message to the NIC (non-blocking for the caller)."""
-        msg.sent_at = self.sim.now
-        self._egress.try_put(msg)
+        sim = self.sim
+        now = sim.now
+        msg.sent_at = now
+        if self._paused:
+            # Crashed: the NIC eats anything handed to it.
+            self.fabric._drop_dead(msg, "crash_egress")
+            return
+        start = self._busy_until
+        if start < now:
+            start = now
+        done = start + msg.size_bytes * 8.0 / self.fabric.bandwidth_bps
+        self._busy_until = done
+        entry = [start, done, msg, True]
+        self._fifo.append(entry)
+        sim.schedule_call(done - now, lambda: self._complete(entry))
 
     @property
     def backlog(self) -> int:
-        return self._egress.level
+        """Messages queued behind the one in transmission."""
+        n = len(self._fifo)
+        return n - 1 if n else 0
 
     def pause(self) -> list:
-        """Crash: stop draining and drop the queued backlog (returned)."""
-        if self._resume is None:
-            self._resume = self.sim.event()
-        return self._egress.clear()
+        """Crash: drop the queued backlog (returned); the in-transmission
+        head, if any, still completes ("the wire already has it")."""
+        self._paused = True
+        now = self.sim.now
+        fifo = self._fifo
+        zombie = None
+        if fifo and fifo[0][_START] <= now:
+            zombie = fifo.popleft()
+        dropped = []
+        while fifo:
+            entry = fifo.popleft()
+            entry[_LIVE] = False
+            dropped.append(entry[_MSG])
+        if zombie is not None:
+            fifo.append(zombie)
+            self._busy_until = zombie[_DONE]
+        else:
+            self._busy_until = now
+        return dropped
 
     def resume(self) -> list:
-        """Recover: drop anything queued during the outage, resume
-        draining."""
-        stale = self._egress.clear()
-        if self._resume is not None:
-            resume, self._resume = self._resume, None
-            resume.succeed()
-        return stale
+        """Recover.  Messages enqueued during the outage were already
+        dropped dead at enqueue, so there is never a stale backlog."""
+        self._paused = False
+        return []
 
     @property
     def paused(self) -> bool:
-        return self._resume is not None
+        return self._paused
 
-    def _drain(self):
-        while True:
-            msg = yield self._egress.get()
-            if self._resume is not None:
-                # Crashed: the NIC eats anything handed to it.
-                self.fabric._drop_dead(msg, "crash_egress")
-                continue
-            # Occupy the link for the transmission time...
-            tx = msg.size_bytes * 8.0 / self.fabric.bandwidth_bps
-            if tx > 0:
-                yield self.sim.timeout(tx)
-            self.bytes_sent += msg.size_bytes
-            self.messages_sent += 1
-            # ...then let it propagate without blocking the port.
-            self.fabric._propagate(msg)
+    def _complete(self, entry: list) -> None:
+        if not entry[_LIVE]:
+            return
+        # Completions fire in FIFO order and cancelled entries left the
+        # deque at pause time, so a live completion is always the head.
+        self._fifo.popleft()
+        msg = entry[_MSG]
+        self.bytes_sent += msg.size_bytes
+        self.messages_sent += 1
+        self.fabric._propagate(msg)
 
 
 class _RackUplink:
     """A rack's shared uplink: serializes cross-rack egress at the
-    oversubscribed core bandwidth."""
+    oversubscribed core bandwidth (arithmetic FIFO server, never
+    paused — the core switch does not crash in our fault model)."""
 
     def __init__(
         self, sim: "Simulator", fabric: "Fabric", rack: int, bandwidth_bps: float
@@ -95,25 +133,29 @@ class _RackUplink:
         self.fabric = fabric
         self.rack = rack
         self.bandwidth_bps = bandwidth_bps
-        self._egress: Store = Store(sim)
+        self._busy_until = sim.now
+        self._queued = 0
         self.bytes_sent = 0
-        sim.process(self._drain())
 
     def enqueue(self, msg: WireMessage) -> None:
-        self._egress.try_put(msg)
+        sim = self.sim
+        now = sim.now
+        start = self._busy_until
+        if start < now:
+            start = now
+        done = start + msg.size_bytes * 8.0 / self.bandwidth_bps
+        self._busy_until = done
+        self._queued += 1
+        sim.schedule_call(done - now, lambda: self._complete(msg))
 
     @property
     def backlog(self) -> int:
-        return self._egress.level
+        return self._queued - 1 if self._queued else 0
 
-    def _drain(self):
-        while True:
-            msg = yield self._egress.get()
-            tx = msg.size_bytes * 8.0 / self.bandwidth_bps
-            if tx > 0:
-                yield self.sim.timeout(tx)
-            self.bytes_sent += msg.size_bytes
-            self.fabric._schedule_delivery(msg)
+    def _complete(self, msg: WireMessage) -> None:
+        self._queued -= 1
+        self.bytes_sent += msg.size_bytes
+        self.fabric._schedule_delivery(msg)
 
 
 class Fabric:
@@ -195,9 +237,9 @@ class Fabric:
         self.messages_injected += 1
         if msg.src_machine == msg.dst_machine:
             # Loopback: no NIC, no wire; deliver at the current instant.
-            ev = self.sim.event()
-            ev.callbacks.append(lambda _e: self._deliver(msg))
-            ev.succeed()
+            # Delivery is synchronous (receivers only enqueue/schedule, so
+            # re-entrancy is safe) — no trip through the event queue.
+            self._deliver(msg)
             return
         self.ports[msg.src_machine].enqueue(msg)
 
@@ -301,8 +343,7 @@ class Fabric:
 
     def _schedule_delivery(self, msg: WireMessage) -> None:
         delay = self.latency(msg.src_machine, msg.dst_machine)
-        ev = self.sim.timeout(delay)
-        ev.callbacks.append(lambda _e: self._deliver(msg))
+        self.sim.schedule_call(delay, lambda: self._deliver(msg))
 
     def _deliver(self, msg: WireMessage) -> None:
         if msg.dst_machine in self._machine_down:

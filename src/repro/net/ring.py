@@ -15,7 +15,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Tuple
 
-from repro.sim.events import Event, SimulationError
+from repro.sim.events import Event, SimulationError, already_done
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
@@ -65,13 +65,14 @@ class RingMemoryRegion:
                 f"alloc of {nbytes} B exceeds ring capacity "
                 f"{self.capacity_bytes} B"
             )
-        ev = Event(self.sim)
         if not self._waiters and self._used + nbytes <= self.capacity_bytes:
+            # Uncontended: grant inline with an already-processed event,
+            # so the allocating process resumes without a queue trip.
             self._grant(nbytes)
-            ev.succeed()
-        else:
-            self.alloc_stalls += 1
-            self._waiters.append((ev, nbytes))
+            return already_done(self.sim)
+        ev = Event(self.sim)
+        self.alloc_stalls += 1
+        self._waiters.append((ev, nbytes))
         return ev
 
     def reset(self) -> None:

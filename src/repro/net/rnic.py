@@ -6,21 +6,31 @@ wire message into the InfiniBand fabric.  If the WR carries a ring memory
 region, the region is recycled when the fabric reports delivery —
 modelling the paper's "each memory region can be reused after consumed by
 the RNIC coordinator".
+
+The service pipeline is an arithmetic FIFO server (like
+:class:`~repro.net.fabric.NicPort`): completion instants are computed at
+admission and one timeout is scheduled per WR, instead of a drain process
+doing a queue hand-off plus a timeout per WR.  Uncontended posts return an
+already-processed event, so the posting process resumes inline with zero
+event-queue traffic.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Deque, Tuple
 
 from repro.net.costs import CostModel
 from repro.net.fabric import Fabric
 from repro.net.message import WireMessage
 from repro.net.ring import RingMemoryRegion
-from repro.sim.resources import Store
+from repro.sim.events import Event, already_done
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
+
+_START, _DONE, _WR, _LIVE = 0, 1, 2, 3
 
 
 @dataclass
@@ -33,7 +43,7 @@ class WorkRequest:
 
 
 class Rnic:
-    """One machine's RDMA NIC: WR queue + DMA service loop."""
+    """One machine's RDMA NIC: WR queue + DMA service pipeline."""
 
     def __init__(
         self,
@@ -49,10 +59,14 @@ class Rnic:
         self.fabric = fabric
         self.costs = costs
         self.ring = RingMemoryRegion(sim, ring_capacity_bytes)
-        self._wr_queue: Store = Store(sim, capacity=wr_queue_depth)
+        self._depth = wr_queue_depth
+        #: admitted WRs: the head with ``start <= now`` is in DMA service.
+        self._pending: Deque[list] = deque()
+        #: posts blocked on a full WR queue, FIFO.
+        self._waiters: Deque[Tuple[Event, WorkRequest]] = deque()
+        self._busy_until = sim.now
         self.wrs_posted = 0
         self.wrs_completed = 0
-        sim.process(self._service_loop())
 
     # ------------------------------------------------------------------
     def post(self, wr: WorkRequest):
@@ -60,32 +74,81 @@ class Rnic:
         self.wrs_posted += 1
         if wr.ring_bytes > 0:
             wr.message.on_delivered = self._recycle
-        return self._wr_queue.put(wr)
+        # The old Store-backed queue held up to ``depth`` WRs *behind* the
+        # one in service, so total unfinished admits up to depth + 1.
+        if self._waiters or len(self._pending) > self._depth:
+            ev = Event(self.sim)
+            self._waiters.append((ev, wr))
+            return ev
+        self._admit(wr)
+        return already_done(self.sim)
 
     @property
     def queue_depth(self) -> int:
-        return self._wr_queue.level
+        """WRs queued behind the one in DMA service."""
+        n = len(self._pending)
+        return n - 1 if n else 0
 
     def reset(self) -> int:
         """Crash handling: drop queued work requests and re-register the
-        ring from scratch.  Returns the number of dropped WRs."""
-        dropped = self._wr_queue.clear()
-        for wr in dropped:
-            # The message will never reach the fabric; its ring region is
-            # forgotten wholesale by ring.reset() below.
+        ring from scratch.  Returns the number of dropped WRs.
+
+        The WR in DMA service, if any, still completes into the fabric
+        (matching the old drain loop, whose in-flight WR was already past
+        the queue); blocked posters are admitted dead — their WRs are
+        dropped but the post event succeeds, as with the old
+        ``Store.clear`` contract.
+        """
+        now = self.sim.now
+        pending = self._pending
+        zombie = None
+        if pending and pending[0][_START] <= now:
+            zombie = pending.popleft()
+        dropped = 0
+        while pending:
+            entry = pending.popleft()
+            entry[_LIVE] = False
+            entry[_WR].message.on_delivered = None
+            dropped += 1
+        while self._waiters:
+            ev, wr = self._waiters.popleft()
             wr.message.on_delivered = None
+            dropped += 1
+            ev.succeed()
+        if zombie is not None:
+            pending.append(zombie)
+            self._busy_until = zombie[_DONE]
+        else:
+            self._busy_until = now
         self.ring.reset()
-        return len(dropped)
+        return dropped
 
     # ------------------------------------------------------------------
-    def _service_loop(self):
-        while True:
-            wr = yield self._wr_queue.get()
-            service = self.costs.rnic_wr_service_s
-            if service > 0:
-                yield self.sim.timeout(service)
-            self.fabric.send(wr.message)
-            self.wrs_completed += 1
+    def _admit(self, wr: WorkRequest) -> None:
+        sim = self.sim
+        now = sim.now
+        start = self._busy_until
+        if start < now:
+            start = now
+        done = start + self.costs.rnic_wr_service_s
+        self._busy_until = done
+        entry = [start, done, wr, True]
+        self._pending.append(entry)
+        if done > now:
+            sim.schedule_call(done - now, lambda: self._complete(entry))
+        else:
+            self._complete(entry)
+
+    def _complete(self, entry: list) -> None:
+        if not entry[_LIVE]:
+            return
+        self._pending.popleft()  # live completions fire in FIFO order
+        self.fabric.send(entry[_WR].message)
+        self.wrs_completed += 1
+        while self._waiters and len(self._pending) <= self._depth:
+            ev, wr = self._waiters.popleft()
+            self._admit(wr)
+            ev.succeed()
 
     def _recycle(self, _msg: WireMessage) -> None:
         if self.ring.outstanding:

@@ -18,7 +18,6 @@ from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
-    from repro.sim.process import Process
 
 #: A flush callback receives (items, total_bytes).
 FlushFn = Callable[[List[Any], int], None]
@@ -45,7 +44,6 @@ class StreamSlicer:
         self._items: List[Any] = []
         self._bytes = 0
         self._oldest_at: Optional[float] = None
-        self._timer: Optional["Process"] = None
         # stats
         self.flushes_by_size = 0
         self.flushes_by_timer = 0
@@ -86,25 +84,17 @@ class StreamSlicer:
         self._items = []
         self._bytes = 0
         self._oldest_at = None
-        self._cancel_timer()
         self.on_flush(items, nbytes)
 
     def _arm_timer(self) -> None:
-        self._cancel_timer()
-        self._timer = self.sim.process(self._timer_proc(self._oldest_at))
+        # A flat one-shot callback instead of an interruptible process:
+        # a size-flush simply lets the timer fire stale (the armed-for
+        # stamp no longer matches), which is far cheaper than scheduling
+        # an interrupt per flushed batch.
+        armed_for = self._oldest_at
+        self.sim.schedule_call(self.wtl_s, lambda: self._on_timer(armed_for))
 
-    def _cancel_timer(self) -> None:
-        if self._timer is not None and self._timer.is_alive:
-            self._timer.interrupt()
-        self._timer = None
-
-    def _timer_proc(self, armed_for: float):
-        from repro.sim.events import Interrupt
-
-        try:
-            yield self.sim.timeout(self.wtl_s)
-        except Interrupt:
-            return
+    def _on_timer(self, armed_for: float) -> None:
         # The WTL expired for the batch that armed this timer.  If that
         # batch is still pending (no size-flush happened), flush it.
         if self._items and self._oldest_at == armed_for:

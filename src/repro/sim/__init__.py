@@ -32,6 +32,7 @@ from repro.sim.events import (
     Interrupt,
     SimulationError,
     Timeout,
+    already_done,
 )
 from repro.sim.process import Process
 from repro.sim.resources import Resource, Store
@@ -40,6 +41,7 @@ from repro.sim.rng import RngRegistry
 
 __all__ = [
     "AllOf",
+    "already_done",
     "AnyOf",
     "Event",
     "Interrupt",

@@ -125,6 +125,23 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+def already_done(sim: "Simulator", value: Any = None) -> Event:
+    """An event that has already happened (triggered *and* processed).
+
+    ``yield``-ing it from a process resumes the generator inline without
+    a trip through the event queue — the zero-cost grant used by
+    uncontended resource fast paths (ring allocation, RNIC admission).
+    Callbacks can no longer be attached (``callbacks`` is ``None``), so
+    only hand it to waiters that handle processed events, e.g. a process
+    ``yield`` or ``Simulator.run(until=...)``.
+    """
+    ev = Event(sim)
+    ev._ok = True
+    ev._value = value
+    ev.callbacks = None
+    return ev
+
+
 class Timeout(Event):
     """An event that triggers ``delay`` simulated seconds after creation."""
 
@@ -140,32 +157,37 @@ class Timeout(Event):
 
 
 class _Condition(Event):
-    """Common machinery for :class:`AllOf` / :class:`AnyOf`."""
+    """Common machinery for :class:`AllOf` / :class:`AnyOf`.
+
+    Construction is two-phase so the outcome never depends on the
+    *order* in which already-processed children appear in ``events``:
+    first every still-pending child is counted and subscribed to, then
+    the subclass resolves the complete set of already-processed children
+    at once (:meth:`_resolve_initial`).
+    """
 
     __slots__ = ("_events", "_pending")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self._events = tuple(events)
-        self._pending = 0
         for ev in self._events:
             if ev.sim is not sim:
                 raise SimulationError("condition spans multiple simulators")
-        immediate = True
+        processed = []
+        pending = []
         for ev in self._events:
-            if ev.callbacks is None:
-                self._observe(ev)
-            else:
-                immediate = False
-                self._pending += 1
-                ev.callbacks.append(self._observe)
-        if immediate and not self.triggered:
-            self._check_done(force=True)
+            (processed if ev.callbacks is None else pending).append(ev)
+        self._pending = len(pending)
+        for ev in pending:
+            ev.callbacks.append(self._observe)
+        self._resolve_initial(processed)
 
     def _observe(self, event: Event) -> None:
         raise NotImplementedError
 
-    def _check_done(self, force: bool = False) -> None:
+    def _resolve_initial(self, processed: list) -> None:
+        """Resolve the already-processed children (in listed order)."""
         raise NotImplementedError
 
     def _collect(self) -> dict:
@@ -177,7 +199,11 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Triggers when every child event has triggered.
 
-    Fails as soon as any child fails (the child is defused).
+    Fails as soon as any child fails (the child is defused).  Children
+    already processed at construction count immediately: a failed one
+    (the first in listed order, regardless of where it appears among the
+    processed children) fails the condition; if every child is already
+    processed and none failed, the condition succeeds at once.
     """
 
     __slots__ = ()
@@ -190,15 +216,32 @@ class AllOf(_Condition):
             self.fail(event._value)
             return
         self._pending -= 1
-        self._check_done()
+        if self._pending <= 0:
+            self.succeed(self._collect())
 
-    def _check_done(self, force: bool = False) -> None:
+    def _resolve_initial(self, processed: list) -> None:
+        for ev in processed:
+            if not ev._ok:
+                ev.defuse()
+                self.fail(ev._value)
+                return
         if self._pending <= 0 and not self.triggered:
             self.succeed(self._collect())
 
 
 class AnyOf(_Condition):
-    """Triggers when the first child event triggers."""
+    """Triggers when the first child event triggers.
+
+    Pinned semantics for children already processed at construction
+    (independent of their order among ``events``):
+
+    * any processed *successful* child wins — the condition succeeds
+      immediately with every processed successful child's value;
+    * otherwise, if any processed child *failed*, the condition fails
+      immediately with the first-listed failure (which is defused);
+    * with no events at all the condition never triggers (nothing can
+      happen).
+    """
 
     __slots__ = ()
 
@@ -211,7 +254,11 @@ class AnyOf(_Condition):
             return
         self.succeed(self._collect())
 
-    def _check_done(self, force: bool = False) -> None:
-        if force and self._events and not self.triggered:
-            # All children were already processed before construction.
+    def _resolve_initial(self, processed: list) -> None:
+        if any(ev._ok for ev in processed):
             self.succeed(self._collect())
+            return
+        if processed:
+            first = processed[0]
+            first.defuse()
+            self.fail(first._value)

@@ -181,20 +181,23 @@ class TransferQueue(Store):
 
 
 def _unwrap(event):
-    """Rewrite a Store.get event so waiters see the payload, not the pair."""
-    if event.triggered:
-        event._value = event._value[1]
-        return event
+    """Chain a Store.get event through a proxy whose value is the payload.
 
-    # Defer unwrapping until the event triggers: chain through a proxy.
+    Both the already-triggered and the still-pending branches go through
+    the proxy.  The old already-triggered shortcut rewrote
+    ``event._value`` in place, which corrupted the original event for
+    every other reader — a second unwrap saw the bare payload instead of
+    the ``(enqueue_time, payload)`` pair and unwrapped garbage, as did
+    any callback reading ``.value`` directly.
+    """
     proxy = event.sim.event()
 
     def _forward(ev):
-        if ev.ok:
-            proxy.succeed(ev.value[1])
+        if ev._ok:
+            proxy.succeed(ev._value[1])
         else:
             ev.defuse()
-            proxy.fail(ev.value)
+            proxy.fail(ev._value)
 
     event.callbacks.append(_forward)
     return proxy

@@ -27,6 +27,50 @@ class ConstantArrivals:
         return 1.0 / self.rate
 
 
+class _ExpBuffer:
+    """Block-drawn unit-exponential variates, consumed one at a time.
+
+    ``Generator.exponential(scale)`` is ``standard_exponential() * scale``,
+    and a block ``standard_exponential(size=n)`` consumes the bit stream
+    exactly like ``n`` scalar calls — so buffering whole blocks and scaling
+    lazily yields the *identical* gap sequence as per-call draws while
+    amortizing the numpy dispatch overhead across ``block`` tuples.
+
+    Several arrival processes may share one generator (e.g. the bench
+    runner feeds every spout from a single seeded rng).  They must then
+    also share one buffer, so the interleaved draw *order* across
+    processes still matches scalar-draw semantics — hence :meth:`shared`.
+    The cache keys by ``id(rng)`` and the buffer keeps a strong reference
+    to its generator, so a key can never alias a recycled id.
+    """
+
+    __slots__ = ("rng", "block", "_buf", "_idx")
+
+    _shared: dict = {}
+
+    def __init__(self, rng: np.random.Generator, block: int = 1024):
+        self.rng = rng
+        self.block = block
+        self._buf = rng.standard_exponential(size=block)
+        self._idx = 0
+
+    @classmethod
+    def shared(cls, rng: np.random.Generator) -> "_ExpBuffer":
+        buf = cls._shared.get(id(rng))
+        if buf is None or buf.rng is not rng:
+            buf = cls(rng)
+            cls._shared[id(rng)] = buf
+        return buf
+
+    def next(self) -> float:
+        i = self._idx
+        if i >= self.block:
+            self._buf = self.rng.standard_exponential(size=self.block)
+            i = 0
+        self._idx = i + 1
+        return self._buf[i]
+
+
 class PoissonArrivals:
     """Poisson arrivals at a fixed rate (exponential inter-arrival gaps)."""
 
@@ -35,9 +79,11 @@ class PoissonArrivals:
             raise ValueError(f"rate must be positive, got {rate}")
         self.rate = rate
         self.rng = rng
+        self._scale = 1.0 / rate
+        self._exp = _ExpBuffer.shared(rng)
 
     def __call__(self, now: float) -> float:
-        return float(self.rng.exponential(1.0 / self.rate))
+        return float(self._exp.next() * self._scale)
 
 
 @dataclass(frozen=True)
@@ -68,6 +114,7 @@ class DynamicRateArrivals:
                 raise ValueError(f"rates must be positive, got {step.rate}")
         self.steps: List[RateStep] = list(ordered)
         self.rng = rng
+        self._exp = _ExpBuffer.shared(rng)
 
     def rate_at(self, now: float) -> float:
         current = self.steps[0].rate
@@ -79,7 +126,9 @@ class DynamicRateArrivals:
         return current
 
     def __call__(self, now: float) -> float:
-        return float(self.rng.exponential(1.0 / self.rate_at(now)))
+        # ``* (1.0 / rate)`` (not ``/ rate``) to match the rounding of
+        # ``rng.exponential(1.0 / rate)`` bit for bit.
+        return float(self._exp.next() * (1.0 / self.rate_at(now)))
 
 
 class FiniteArrivals:

@@ -1,0 +1,169 @@
+"""Differential testing: batched dispatch vs. the event-resolved path.
+
+The batched fast path (``SystemConfig.batched_dispatch``, see
+:class:`repro.dsps.executor.BoltExecutor`) replaces per-tuple queue
+hand-off and service-timeout events with closed-form FIFO arithmetic.
+It must never change *what* the system computes: the delivered tuple
+multiset, completion counts, drop counts, and per-tuple latency values
+have to match the slow path exactly — observable differences are
+limited to same-instant tie ordering, which multiset comparison is
+deliberately blind to.
+
+The slow path is reachable two ways, and both are covered here:
+``batched_dispatch=False`` in the config, and attaching a tracer or
+invariant checker (the gate in ``BoltExecutor._pick_mode`` refuses to
+batch under instrumentation so traces stay event-faithful).
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import whale_full_config, whale_woc_rdma_config
+from repro.dsps import storm_config
+from tests._check_util import build_checked_system, run_windowed
+
+END_TO_END = settings(max_examples=8, deadline=None)
+
+
+def _run(config, *, batched, check=None, parallelism=6, n_machines=3,
+         n_tuples=60, seed=1):
+    system, log = build_checked_system(
+        config.with_overrides(batched_dispatch=batched),
+        parallelism=parallelism, n_machines=n_machines,
+        n_tuples=n_tuples, seed=seed, check=check,
+    )
+    run_windowed(system, drain_s=0.5)
+    return system, log
+
+
+def _modes(system):
+    return {
+        ex._mode
+        for ex in system.executors.values()
+        if type(ex).__name__ == "BoltExecutor"
+    }
+
+
+CONFIGS = [
+    ("whale_full", lambda: whale_full_config(adaptive=False)),
+    ("whale_woc_rdma", whale_woc_rdma_config),
+    ("storm", storm_config),
+]
+
+
+@pytest.mark.parametrize("name,make_config", CONFIGS)
+def test_batched_and_slow_paths_deliver_identical_multisets(
+    name, make_config
+):
+    fast_sys, fast_log = _run(make_config(), batched=True)
+    slow_sys, slow_log = _run(make_config(), batched=False)
+    # The gate actually took different branches.
+    assert "slow" not in _modes(fast_sys)
+    assert _modes(slow_sys) == {"slow"}
+    assert Counter(fast_log) == Counter(slow_log)
+    assert set(Counter(fast_log).values()) == {1}  # exactly-once
+
+
+@pytest.mark.parametrize("name,make_config", CONFIGS)
+def test_batched_and_slow_paths_agree_on_metrics(name, make_config):
+    fast_sys, _ = _run(make_config(), batched=True)
+    slow_sys, _ = _run(make_config(), batched=False)
+    fm, sm = fast_sys.metrics, slow_sys.metrics
+    assert fm.completion.completed == sm.completion.completed
+    assert sum(fm.dropped.values()) == sum(sm.dropped.values())
+    # Completion instants are computed, not event-resolved, on the fast
+    # path — but they are the *same* instants, so the per-tuple latency
+    # multiset matches exactly (ordering may differ on ties).
+    assert set(fm.sink_latencies) == set(sm.sink_latencies)
+    for op in fm.sink_latencies:
+        assert sorted(fm.sink_latencies[op]) == sorted(sm.sink_latencies[op])
+
+
+def test_checker_forces_event_resolved_path_and_multiset_matches():
+    fast_sys, fast_log = _run(whale_full_config(adaptive=False), batched=True)
+    checked_sys, checked_log = _run(
+        whale_full_config(adaptive=False), batched=True, check="strict"
+    )
+    # batched_dispatch stayed True, but the checker's tracer tap trips
+    # the gate: instrumented runs take the event-resolved path.
+    assert _modes(checked_sys) == {"slow"}
+    assert checked_sys.checker.finalize().ok
+    assert Counter(fast_log) == Counter(checked_log)
+
+
+def test_batched_dispatch_is_deterministic_per_seed():
+    runs = [
+        _run(whale_full_config(adaptive=False), batched=True, seed=7)[1]
+        for _ in range(2)
+    ]
+    # Full ordered log, not just the multiset: same seed, same trace.
+    assert runs[0] == runs[1]
+
+
+@END_TO_END
+@given(
+    parallelism=st.integers(min_value=2, max_value=8),
+    n_machines=st.integers(min_value=2, max_value=4),
+    n_tuples=st.integers(min_value=5, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_dispatch_equivalence_holds_for_fuzzed_scenarios(
+    parallelism, n_machines, n_tuples, seed
+):
+    _, fast_log = _run(
+        whale_full_config(adaptive=False), batched=True,
+        parallelism=parallelism, n_machines=n_machines,
+        n_tuples=n_tuples, seed=seed,
+    )
+    _, slow_log = _run(
+        whale_full_config(adaptive=False), batched=False,
+        parallelism=parallelism, n_machines=n_machines,
+        n_tuples=n_tuples, seed=seed,
+    )
+    assert Counter(fast_log) == Counter(slow_log)
+    assert set(Counter(fast_log).values()) == {1}
+
+
+# ----------------------------------------------------------------------
+# Vectorized arrivals: the block-buffered exponential draws must be
+# bit-identical to scalar ``rng.exponential`` calls, including when
+# several arrival processes share one generator.
+# ----------------------------------------------------------------------
+def test_poisson_arrivals_bit_identical_to_scalar_draws():
+    from repro.workloads import PoissonArrivals
+
+    rate = 4000.0
+    vec = PoissonArrivals(rate, np.random.default_rng(42))
+    ref = np.random.default_rng(42)
+    gaps = [vec(0.0) for _ in range(3000)]  # spans block boundaries
+    expected = [float(ref.exponential(1.0 / rate)) for _ in range(3000)]
+    assert gaps == expected
+
+
+def test_dynamic_arrivals_bit_identical_to_scalar_draws():
+    from repro.workloads import DynamicRateArrivals, RateStep
+
+    steps = [RateStep(0.0, 2000.0), RateStep(1.0, 8000.0)]
+    vec = DynamicRateArrivals(steps, np.random.default_rng(9))
+    ref = np.random.default_rng(9)
+    for now in (0.0, 0.5, 1.0, 1.5, 2.0) * 600:
+        rate = vec.rate_at(now)
+        assert vec(now) == float(ref.exponential(1.0 / rate))
+
+
+def test_shared_rng_interleaving_matches_scalar_semantics():
+    from repro.workloads import PoissonArrivals
+
+    rng = np.random.default_rng(5)
+    a = PoissonArrivals(1000.0, rng)
+    b = PoissonArrivals(3000.0, rng)
+    ref = np.random.default_rng(5)
+    # Alternate draws across two processes sharing one generator: the
+    # shared buffer must hand out variates in global draw order.
+    for i in range(2100):
+        proc, rate = (a, 1000.0) if i % 2 == 0 else (b, 3000.0)
+        assert proc(0.0) == float(ref.exponential(1.0 / rate))

@@ -102,6 +102,46 @@ def test_verify_exit_codes(tmp_path, capsys, monkeypatch):
     assert "FAIL throughput-ordering-ridehailing" in capsys.readouterr().out
 
 
+def test_perf_gate_exit_codes(tmp_path, capsys):
+    def write(path, pps):
+        path.write_text(json.dumps({"points_per_s": pps}))
+        return str(path)
+
+    baseline = write(tmp_path / "baseline.json", 0.28)
+    # 25% slower: inside the default 30% band
+    ok = write(tmp_path / "ok.json", 0.21)
+    assert main(["perf", "--baseline", baseline, "--current", ok]) == 0
+    assert "perf gate: ok" in capsys.readouterr().out
+
+    # 50% slower: regression
+    bad = write(tmp_path / "bad.json", 0.14)
+    assert main(["perf", "--baseline", baseline, "--current", bad]) == 1
+    assert "FAIL" in capsys.readouterr().err
+
+    # a tighter band flips the passing pair
+    assert main([
+        "perf", "--baseline", baseline, "--current", ok,
+        "--max-regression", "0.10",
+    ]) == 1
+    capsys.readouterr()
+
+    # unreadable input is a usage error, not a crash
+    assert main([
+        "perf", "--baseline", str(tmp_path / "missing.json"),
+        "--current", ok,
+    ]) == 2
+
+
+def test_perf_gate_repo_baseline_is_committed_and_sane():
+    # CI runs `python -m repro.exp perf` from the repo root: the file it
+    # reads must exist in-tree with the field the gate compares.
+    root = os.path.join(os.path.dirname(__file__), os.pardir)
+    with open(os.path.join(root, "BENCH_suite.json")) as fh:
+        baseline = json.load(fh)
+    assert baseline["points_per_s"] > 0
+    assert baseline["suite"] == "smoke"
+
+
 def test_list_shows_points_and_fn_refs(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out

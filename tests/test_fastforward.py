@@ -1,0 +1,277 @@
+"""Steady-state fast-forward: detector semantics, M/D/1 validation,
+and honest window truncation (``repro.analytic.fastforward``)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analytic.fastforward import (
+    ENV_VAR,
+    FastForwardPolicy,
+    SteadyStateDetector,
+    resolve,
+    run_measured_window,
+)
+from repro.analytic.latency import queueing_wait_md1
+from repro.sim import Simulator
+
+
+# ----------------------------------------------------------------------
+# resolve()
+# ----------------------------------------------------------------------
+def test_resolve_explicit_overrides_env(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "1")
+    assert resolve(False) is False
+    monkeypatch.setenv(ENV_VAR, "0")
+    assert resolve(True) is True
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [("1", True), ("true", True), ("ON", True), ("0", False), ("", False)],
+)
+def test_resolve_env_values(monkeypatch, value, expected):
+    monkeypatch.setenv(ENV_VAR, value)
+    assert resolve() is expected
+
+
+def test_resolve_default_off(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert resolve() is False
+
+
+# ----------------------------------------------------------------------
+# SteadyStateDetector
+# ----------------------------------------------------------------------
+def _policy(**kw):
+    base = dict(
+        n_slices=8, min_slices=3, rel_eps=0.15, min_completed=120,
+        inflight_eps=0.35,
+    )
+    base.update(kw)
+    return FastForwardPolicy(**base)
+
+
+def test_detector_needs_min_slices():
+    det = SteadyStateDetector(_policy())
+    det.observe(100, 0)
+    det.observe(200, 0)
+    assert not det.steady
+    det.observe(300, 0)
+    assert det.steady
+
+
+def test_detector_needs_min_completed():
+    det = SteadyStateDetector(_policy(min_completed=1000))
+    for total in (100, 200, 300, 400):
+        det.observe(total, 0)
+    assert not det.steady
+
+
+def test_detector_rejects_trending_rate():
+    det = SteadyStateDetector(_policy())
+    # Slice counts 100, 150, 225 — a clear ramp, never steady.
+    for total in (100, 250, 475):
+        det.observe(total, 0)
+    assert not det.steady
+
+
+def test_detector_rejects_growing_inflight():
+    det = SteadyStateDetector(_policy())
+    for total, inflight in ((100, 10), (200, 60), (300, 160)):
+        det.observe(total, inflight)
+    assert not det.steady
+
+
+def test_detector_tolerates_poisson_noise():
+    det = SteadyStateDetector(_policy())
+    # ±8% around 100/slice is inside the 15% band.
+    for total in (100, 208, 300, 404):
+        det.observe(total, 3)
+    assert det.steady
+
+
+def test_slice_counts_are_deltas():
+    det = SteadyStateDetector(_policy())
+    for total in (10, 30, 60):
+        det.observe(total, 0)
+    assert det.slice_counts == [10, 20, 30]
+
+
+# ----------------------------------------------------------------------
+# Validation against the M/D/1 closed form: when the detector declares
+# steady on a simulated M/D/1 queue, the measured mean wait must agree
+# with Pollaczek–Khinchine.
+# ----------------------------------------------------------------------
+def test_detector_fires_in_md1_steady_state():
+    lam, mu = 700.0, 1000.0  # rho = 0.7
+    service = 1.0 / mu
+    rng = np.random.default_rng(11)
+    sim = Simulator()
+    waits = []
+    state = {"busy_until": 0.0, "done": 0, "inflight": 0}
+
+    def complete(start):
+        state["done"] += 1
+        state["inflight"] -= 1
+        waits.append(start - arrival_times.pop(0))
+
+    arrival_times = []
+
+    def arrivals():
+        while True:
+            yield sim.timeout(float(rng.exponential(1.0 / lam)))
+            now = sim.now
+            arrival_times.append(now)
+            state["inflight"] += 1
+            start = max(now, state["busy_until"])
+            state["busy_until"] = start + service
+            sim.schedule_call(
+                state["busy_until"] - now, (lambda s=start: complete(s))
+            )
+
+    sim.process(arrivals())
+    sim.run(until=0.5)  # warmup past the empty-queue transient
+
+    det = SteadyStateDetector(_policy(min_completed=200))
+    horizon, n_slices = 2.0, 8
+    start_t = sim.now
+    fired_at = None
+    for i in range(1, n_slices + 1):
+        sim.run(until=start_t + i * horizon / n_slices)
+        det.observe(state["done"], state["inflight"])
+        if det.steady:
+            fired_at = i
+            break
+    assert fired_at is not None and fired_at < n_slices
+
+    measured = float(np.mean(waits))
+    analytic = queueing_wait_md1(lam, mu)
+    assert measured == pytest.approx(analytic, rel=0.25)
+
+
+def test_md1_closed_form_sanity():
+    # rho -> 1 diverges; rho = 0 means no wait.
+    assert queueing_wait_md1(0.0, 1000.0) == 0.0
+    assert math.isinf(queueing_wait_md1(1000.0, 1000.0))
+
+
+# ----------------------------------------------------------------------
+# run_measured_window: honest truncation on a real system
+# ----------------------------------------------------------------------
+def _small_system(seed=5):
+    from repro.core import create_system, whale_woc_rdma_config
+    from repro.dsps import AllGrouping, Bolt, Spout, Topology
+    from repro.net import Cluster
+    from repro.workloads import PoissonArrivals
+
+    class Src(Spout):
+        payload_bytes = 100
+
+        def next_tuple(self):
+            return {}, None, 100
+
+    class Sink(Bolt):
+        base_service_s = 10e-6
+
+    topo = Topology("ff-test")
+    topo.add_spout("src", Src)
+    topo.add_bolt(
+        "sink", Sink, parallelism=8, inputs={"src": AllGrouping()},
+        terminal=True,
+    )
+    return create_system(
+        topo,
+        whale_woc_rdma_config(),
+        cluster=Cluster(4, 1, 4),
+        arrivals={
+            "src": PoissonArrivals(4000.0, np.random.default_rng(seed))
+        },
+    )
+
+
+def test_run_measured_window_full_without_ff(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    system = _small_system()
+    system.start()
+    system.sim.run(until=0.05)
+    duration = run_measured_window(system, 0.55)
+    assert duration == pytest.approx(0.5)
+    assert system.sim.now == pytest.approx(0.55)
+
+
+def test_run_measured_window_truncates_and_rates_agree():
+    full = _small_system(seed=5)
+    full.start()
+    full.sim.run(until=0.05)
+    d_full = run_measured_window(full, 0.55, fast_forward=False)
+    thr_full = full.metrics.completion.completed / d_full
+
+    fast = _small_system(seed=5)
+    fast.start()
+    fast.sim.run(until=0.05)
+    d_fast = run_measured_window(fast, 0.55, fast_forward=True)
+    thr_fast = fast.metrics.completion.completed / d_fast
+
+    assert d_fast < d_full  # it actually truncated
+    # Same seed, same realization: the truncated window is a prefix of
+    # the full one, so the rate estimates must agree closely.
+    assert thr_fast == pytest.approx(thr_full, rel=0.15)
+
+
+def test_run_app_fast_forward_agrees_with_full_window():
+    """Over-driven (default) point: rate metrics must agree.
+
+    Latency percentiles are deliberately NOT compared here — in an
+    over-driven run the queue ramps for the whole window, so the latency
+    summary is a function of window length in the *full* run too.
+    """
+    from repro.bench.experiments import whale_woc_rdma_config
+    from repro.bench.runner import run_app
+
+    full = run_app(
+        "ridehailing", whale_woc_rdma_config(), parallelism=16, seed=3,
+        fast_forward=False,
+    )
+    fast = run_app(
+        "ridehailing", whale_woc_rdma_config(), parallelism=16, seed=3,
+        fast_forward=True,
+    )
+    assert fast.duration_s <= full.duration_s
+    assert fast.throughput == pytest.approx(full.throughput, rel=0.15)
+
+
+def test_run_app_fast_forward_latency_agrees_when_stationary():
+    """Below capacity the latency distribution is stationary, so the
+    truncated window's percentiles must match the full window's."""
+    from repro.bench.experiments import whale_woc_rdma_config
+    from repro.bench.runner import run_app
+
+    kwargs = dict(parallelism=16, seed=3, overdrive=0.7)
+    full = run_app(
+        "ridehailing", whale_woc_rdma_config(), fast_forward=False, **kwargs
+    )
+    fast = run_app(
+        "ridehailing", whale_woc_rdma_config(), fast_forward=True, **kwargs
+    )
+    assert fast.throughput == pytest.approx(full.throughput, rel=0.15)
+    assert fast.processing_latency.p50 == pytest.approx(
+        full.processing_latency.p50, rel=0.35
+    )
+
+
+def test_run_app_fault_schedule_disables_fast_forward():
+    from repro.bench.runner import run_app
+    from repro.bench.experiments import whale_woc_rdma_config
+    from repro.faults import FaultSchedule
+
+    schedule = FaultSchedule([])
+    run = run_app(
+        "ridehailing", whale_woc_rdma_config(), parallelism=8, seed=3,
+        fast_forward=True, fault_schedule=schedule,
+    )
+    # The full window must have been simulated: duration equals the
+    # budgeted measure time, not a truncated slice boundary.
+    expected = min(2.0, max(0.1, 500 / run.offered_rate))
+    assert run.duration_s == pytest.approx(expected)
