@@ -199,6 +199,7 @@ def node_failure_run(
     offered_rate: Optional[float] = None,
     seed: int = 42,
     drain_s: float = 2.0,
+    check: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One crash-recovery point; returns the raw measurements.
 
@@ -255,6 +256,8 @@ def node_failure_run(
         system.add_fault_schedule(
             FaultSchedule.single_crash(victim, crash_at, crash_at + downtime_s)
         )
+    if check:
+        system.attach_checker(mode=check)
     system.start()
     system.metrics.open_window()
     system.sim.run(until=duration_s)
@@ -266,6 +269,7 @@ def node_failure_run(
     while reliability.outstanding and system.sim.now < deadline:
         system.sim.run(until=min(deadline, system.sim.now + 0.05))
     system.metrics.close_window()
+    report = system.checker.finalize() if system.checker is not None else None
 
     replayed = reliability.replayed_completions()
     recovery_s = (
@@ -290,6 +294,7 @@ def node_failure_run(
             s.reattach_count for s in system.multicast_services
         ),
         "messages_dead": system.fabric.messages_dead,
+        "check_report": report,
         "system": system,
     }
 
@@ -353,6 +358,236 @@ def ablation_node_failure(
 
 
 # ----------------------------------------------------------------------
+# delivery semantics: all four guarantees under one fault schedule
+# ----------------------------------------------------------------------
+def _delivery_config(delivery: str) -> Any:
+    """Full Whale tuned for fast fault turnaround, in one delivery mode."""
+    return whale_full_config(adaptive=False).with_overrides(
+        name=f"whale-{delivery}",
+        delivery=delivery,
+        failure_detection=True,
+        ack_timeout_s=0.15,
+        ack_sweep_interval_s=0.02,
+        max_replays=8,
+        epoch_interval_s=0.1,
+    )
+
+
+def delivery_semantics_run(
+    delivery: str,
+    fault_schedule: Optional[FaultSchedule] = None,
+    duration_s: float = 1.0,
+    parallelism: int = 24,
+    n_machines: int = 8,
+    offered_rate: Optional[float] = None,
+    seed: int = 42,
+    drain_s: float = 2.0,
+    check: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One measured run under ``delivery``; returns the raw measurements.
+
+    ``check`` attaches a runtime :class:`~repro.check.InvariantChecker`
+    (``"strict"`` raises on the first breach — in particular
+    no-duplicate-side-effects and group-atomicity for the strong modes)
+    and finalizes it after the drain.  Delivered-tuple counts come from
+    the mode-independent :class:`~repro.dsps.metrics.CompletionTracker`,
+    so goodput means the same thing in every mode: distinct broadcast
+    tuples executed at every destination instance.
+    """
+    config = _delivery_config(delivery)
+    topology = ride_hailing_topology(
+        parallelism, n_drivers=N_DRIVERS, compute_real_matches=False
+    )
+    if offered_rate is None:
+        shape = SystemShape(
+            parallelism=parallelism,
+            n_machines=n_machines,
+            payload_bytes=REQUEST_RECORD_BYTES,
+        )
+        offered_rate = min(
+            400.0,
+            0.5
+            * sustainable_rate(
+                config,
+                shape,
+                downstream_service_estimate("ridehailing", parallelism),
+            ),
+        )
+    rng = np.random.default_rng(seed)
+    arrivals = {
+        "requests": PoissonArrivals(offered_rate, rng),
+        "driver_locations": PoissonArrivals(min(1000.0, offered_rate), rng),
+    }
+    system = create_system(
+        topology,
+        config,
+        cluster=Cluster(n_machines, 1, 16),
+        arrivals=arrivals,
+        seed=seed,
+    )
+    if fault_schedule is not None:
+        # A fresh schedule object per run: the events are shared frozen
+        # data, so every mode sees the identical fault timeline.
+        system.add_fault_schedule(FaultSchedule(fault_schedule.events))
+    if check:
+        system.attach_checker(mode=check)
+    system.start()
+    system.metrics.open_window()
+    system.sim.run(until=duration_s)
+    for spout in system.spout_executors:
+        spout.stop()
+    reliability = system.reliability
+    deadline = duration_s + drain_s
+    if reliability is not None:
+        while (
+            reliability.outstanding or reliability.held_entries
+        ) and system.sim.now < deadline:
+            system.sim.run(until=min(deadline, system.sim.now + 0.05))
+    else:
+        system.sim.run(until=duration_s + DRAIN_S)
+    system.metrics.close_window()
+    report = system.checker.finalize() if system.checker is not None else None
+
+    completion = system.metrics.completion
+    crash_times = fault_schedule.crash_times if fault_schedule else []
+    first_crash = min((t for t, _ in crash_times), default=math.nan)
+    if reliability is not None:
+        replayed = reliability.replayed_completions()
+        recovery_s = (
+            max(r.completed_at for r in replayed) - first_crash
+            if replayed and crash_times
+            else (0.0 if crash_times else math.nan)
+        )
+        counters = dict(
+            registered=reliability.registered,
+            replays=reliability.replays,
+            duplicate_executions=reliability.duplicate_executions,
+            duplicates_suppressed=reliability.duplicates_suppressed,
+            commits=reliability.commits,
+            aborts=reliability.aborts,
+            epochs_committed=reliability.epochs_committed,
+            outstanding=reliability.outstanding,
+        )
+    else:
+        recovery_s = math.nan
+        counters = dict(
+            registered=completion.registered,
+            replays=0,
+            duplicate_executions=0,
+            duplicates_suppressed=0,
+            commits=0,
+            aborts=0,
+            epochs_committed=0,
+            outstanding=0,
+        )
+    delivered = completion.completed
+    return {
+        "delivery": delivery,
+        "offered_rate": offered_rate,
+        "delivered": delivered,
+        "goodput": delivered / duration_s,
+        "p50_latency_s": completion.summary().p50,
+        "recovery_s": recovery_s,
+        "abandoned": system.metrics.messages_abandoned,
+        "control_bytes": system.traffic_bytes("control"),
+        "check_report": report,
+        "system": system,
+        **counters,
+    }
+
+
+def ablation_delivery_semantics(
+    duration_s: float = 0.8,
+    parallelism: int = 18,
+    n_machines: int = 8,
+    offered_rate: Optional[float] = 200.0,
+    seed: int = 42,
+    n_crashes: int = 2,
+    n_link_flaps: int = 2,
+    check: Optional[str] = "strict",
+) -> Table:
+    """Goodput/latency/recovery of all four delivery guarantees under
+    one identical seeded crash + link-flap schedule."""
+    # Probe system (placement is identical across modes): protect the
+    # acker's machine and every multicast source from the random draw —
+    # the ablation measures delivery guarantees, not source loss.
+    probe = create_system(
+        ride_hailing_topology(
+            parallelism, n_drivers=N_DRIVERS, compute_real_matches=False
+        ),
+        _delivery_config("at_least_once"),
+        cluster=Cluster(n_machines, 1, 16),
+        seed=seed,
+    )
+    protected = {probe.reliability.home_machine}
+    for service in probe.multicast_services:
+        protected.add(service.src_machine)
+    eligible = sorted(set(probe.workers) - protected)
+    schedule = FaultSchedule.random(
+        eligible,
+        horizon_s=duration_s,
+        n_crashes=min(n_crashes, len(eligible)),
+        seed=seed,
+        min_downtime_s=0.1,
+        max_downtime_s=0.25,
+        n_link_flaps=n_link_flaps,
+    )
+    table = Table(
+        f"Ablation: delivery semantics under {n_crashes} crashes + "
+        f"{n_link_flaps} link flaps (k={parallelism}, run {duration_s:g}s, "
+        f"seed {seed})",
+        [
+            "delivery",
+            "goodput tuple/s",
+            "p50 latency ms",
+            "recovery ms",
+            "replays",
+            "dup execs",
+            "dups suppressed",
+            "abandoned",
+            "commits",
+            "aborts",
+            "ctl KB",
+        ],
+    )
+    for mode in ("at_most_once", "at_least_once", "exactly_once", "atomic"):
+        point = delivery_semantics_run(
+            mode,
+            fault_schedule=schedule,
+            duration_s=duration_s,
+            parallelism=parallelism,
+            n_machines=n_machines,
+            offered_rate=offered_rate,
+            seed=seed,
+            check=check,
+        )
+        table.add(
+            mode,
+            point["goodput"],
+            1e3 * point["p50_latency_s"],
+            1e3 * point["recovery_s"],
+            point["replays"],
+            point["duplicate_executions"],
+            point["duplicates_suppressed"],
+            point["abandoned"],
+            point["commits"],
+            point["aborts"],
+            point["control_bytes"] / 1e3,
+        )
+    table.note(
+        "identical seeded fault schedule for every row; goodput counts "
+        "distinct broadcast tuples executed at every destination "
+        "instance (set-based tracker, so at-least-once duplicates do "
+        "not inflate it). exactly_once adds per-destination dedup + "
+        "selective replay + epoch GC on top of at_least_once; atomic "
+        "buffers at the destinations and releases commits in per-sender "
+        "order (all-or-none). Runs are strict-checked: "
+        "no-duplicate-side-effects and group-atomicity hold throughout."
+    )
+    return table
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 def main(argv: Optional[List[str]] = None) -> int:
@@ -369,9 +604,61 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="one small crash run (CI-sized: fewer instances, shorter run)",
     )
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--delivery",
+        choices=("at_most_once", "at_least_once", "exactly_once", "atomic"),
+        default=None,
+        help="smoke a single delivery guarantee under the crash schedule "
+        "instead of the at-least-once relay-crash run",
+    )
+    parser.add_argument(
+        "--check",
+        choices=("off", "warn", "strict"),
+        default="off",
+        help="attach the runtime invariant checker to the smoke run "
+        "(strict fails the run on the first breach)",
+    )
     args = parser.parse_args(argv)
+    check = None if args.check == "off" else args.check
 
     if args.smoke:
+        if args.delivery is not None:
+            schedule = FaultSchedule.random(
+                [2, 3, 4],
+                horizon_s=0.5,
+                n_crashes=2,
+                seed=args.seed,
+                min_downtime_s=0.1,
+                max_downtime_s=0.2,
+                n_link_flaps=1,
+            )
+            point = delivery_semantics_run(
+                args.delivery,
+                fault_schedule=schedule,
+                parallelism=12,
+                n_machines=6,
+                duration_s=0.6,
+                offered_rate=150.0,
+                seed=args.seed,
+                check=check,
+            )
+            print(
+                f"smoke[{args.delivery}]: {point['delivered']} delivered "
+                f"({point['goodput']:.0f}/s), {point['replays']} replays, "
+                f"{point['duplicate_executions']} duplicate executions, "
+                f"{point['abandoned']} abandoned, {point['commits']} "
+                f"commits / {point['aborts']} aborts"
+            )
+            report = point["check_report"]
+            if report is not None:
+                print(f"  checker: {report.summary()}")
+            ok = point["delivered"] > 0 and (
+                report is None or report.ok
+            )
+            if args.delivery in ("exactly_once", "atomic"):
+                ok = ok and point["duplicate_executions"] == 0
+            print("smoke OK" if ok else "smoke FAILED")
+            return 0 if ok else 1
         point = node_failure_run(
             parallelism=12,
             n_machines=6,
@@ -380,6 +667,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             downtime_s=0.15,
             offered_rate=150.0,
             seed=args.seed,
+            check=check,
         )
         print(
             f"smoke: crashed machine {point['victim_machine']}, "
@@ -394,10 +682,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{point['repairs']} repairs / {point['reattaches']} reattaches"
         )
         ok = point["outstanding"] == 0 and point["replays"] > 0
+        report = point.get("check_report")
+        if report is not None:
+            print(f"  checker: {report.summary()}")
+            ok = ok and report.ok
         print("smoke OK" if ok else "smoke FAILED")
         return 0 if ok else 1
-    table = ablation_node_failure(seed=args.seed)
-    print(table.render())
+    print(ablation_node_failure(seed=args.seed).render())
+    print()
+    print(ablation_delivery_semantics(seed=args.seed).render())
     return 0
 
 

@@ -32,7 +32,16 @@ name                        scope  guards against
                                    outstanding, latency list lengths)
 ``replay_conservation``     state  acker tree leaks and double-counted
                                    give-ups (registered = completions +
-                                   gave_up + outstanding, roots unique)
+                                   gave_up + outstanding, roots unique,
+                                   abandoned counter = give-ups)
+``no_duplicate_side_effects`` state duplicate executions of one root at
+                                   one task slipping past exactly-once /
+                                   atomic dedup
+``group_atomicity``         final  atomic multicast breaches: an aborted
+                                   tree that executed anywhere, a
+                                   committed tree missing a live
+                                   destination, or out-of-sender-order
+                                   commits
 ``tree_structure``          state  disconnected/cyclic multicast trees,
                                    d* cap violations, detached endpoints
                                    still wired into a tree
@@ -274,6 +283,30 @@ def _replay_conservation(ctx: CheckContext) -> None:
     completed_roots = [c.root_id for c in coord.completions]
     if len(completed_roots) != len(set(completed_roots)):
         ctx.fail("completion roots not unique")
+    abandoned = ctx.system.metrics.messages_abandoned
+    if abandoned != len(coord.gave_up):
+        ctx.fail(
+            f"metrics.messages_abandoned {abandoned} != gave_up "
+            f"{len(coord.gave_up)}: an exhausted tree escaped accounting"
+        )
+
+
+@invariant(
+    "no_duplicate_side_effects",
+    "state",
+    "under exactly-once/atomic delivery no root tuple executes twice at "
+    "the same task",
+)
+def _no_duplicate_side_effects(ctx: CheckContext) -> None:
+    coord = ctx.system.reliability
+    if coord is None or coord.mode not in ("exactly_once", "atomic"):
+        return
+    if coord.duplicate_executions:
+        ctx.fail(
+            f"{coord.duplicate_executions} duplicate execution(s) slipped "
+            f"past the dedup layer",
+            mode=coord.mode,
+        )
 
 
 @invariant(
@@ -395,6 +428,20 @@ def _suspects_degraded(ctx: CheckContext) -> None:
                     machine=machine,
                     src_task=controller.service.src_task,
                 )
+
+
+@invariant(
+    "group_atomicity",
+    "final",
+    "atomic multicast is all-or-none over live destinations and commits "
+    "in per-sender order",
+)
+def _group_atomicity(ctx: CheckContext) -> None:
+    coord = ctx.system.reliability
+    if coord is None or coord.mode != "atomic":
+        return
+    for problem in coord.audit_violations():
+        ctx.fail(problem)
 
 
 @invariant(

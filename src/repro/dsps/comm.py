@@ -67,6 +67,9 @@ class Envelope:
     dst_tasks: List[int]
     #: True when this envelope came from a one-to-many (all) grouping.
     one_to_many: bool = False
+    #: True for a selective replay (exactly-once point repair): deliver
+    #: only to ``dst_tasks``, bypassing the multicast tree.
+    selective: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -371,7 +374,7 @@ class CommEngine:
         """Transmit one envelope.  Returns the number of direct
         transmissions the source performed (its effective out-degree)."""
         service = self.system.multicast_service(executor.task_id, env.dst_operator)
-        if env.one_to_many and service is not None:
+        if env.one_to_many and service is not None and not env.selective:
             yield from service.send_from_source(executor, env.tuple)
             return service.source_out_degree()
         if self.config.worker_oriented:

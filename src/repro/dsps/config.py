@@ -23,6 +23,9 @@ from typing import Optional
 from repro.net.costs import CostModel
 from repro.net.rdma import Verb
 
+#: delivery guarantees understood by the reliability layer, weakest first.
+DELIVERY_MODES = ("at_most_once", "at_least_once", "exactly_once", "atomic")
+
 
 @dataclass(frozen=True)
 class SystemConfig:
@@ -69,8 +72,16 @@ class SystemConfig:
     #: simulated one-way controller->instances switching delay budget
     switch_delay_s: float = 0.002
 
-    # --- reliability (at-least-once via the acker) -------------------------
-    #: track one-to-many spout tuples with the acker and replay timeouts
+    # --- reliability (delivery semantics via the acker) ---------------------
+    #: delivery guarantee for one-to-many spout tuples:
+    #: ``"at_most_once"`` (fire-and-forget), ``"at_least_once"``
+    #: (acker-driven full-tree replay), ``"exactly_once"`` (at-least-once
+    #: + per-destination dedup, selective replay, epoch GC), or
+    #: ``"atomic"`` (sender-ordered all-or-none multicast).  ``None``
+    #: derives the mode from the legacy ``at_least_once`` flag.
+    delivery: Optional[str] = None
+    #: legacy on/off switch for at-least-once tracking; superseded by
+    #: ``delivery`` but still honoured when ``delivery`` is ``None``
     at_least_once: bool = False
     #: tree age at which the acker declares a timeout (Storm's
     #: TOPOLOGY_MESSAGE_TIMEOUT_SECS, scaled to simulated seconds)
@@ -79,8 +90,14 @@ class SystemConfig:
     ack_sweep_interval_s: float = 0.05
     #: replay attempts per root before giving up
     max_replays: int = 5
-    #: backoff before replay attempt k is ``base * 2**(k-1)``
+    #: backoff before replay attempt k is ``base * 2**(k-1)``, spread by
+    #: deterministic jitter from the seeded ``"acker"`` rng stream
     replay_backoff_base_s: float = 0.01
+    #: epoch barrier period for exactly-once/atomic dedup-state GC: the
+    #: replay coordinator closes an epoch at the spout every interval and
+    #: garbage-collects dedup tables once every tree of a closed epoch
+    #: has settled (completed, committed, or abandoned)
+    epoch_interval_s: float = 0.25
 
     # --- failure detection + tree self-healing -----------------------------
     #: heartbeat-based failure detector in the multicast controller
@@ -114,12 +131,37 @@ class SystemConfig:
             raise ValueError("max_replays must be >= 0")
         if self.replay_backoff_base_s < 0:
             raise ValueError("replay backoff base must be >= 0")
+        if self.delivery is not None and self.delivery not in DELIVERY_MODES:
+            raise ValueError(
+                f"unknown delivery mode {self.delivery!r}; "
+                f"choices: {DELIVERY_MODES}"
+            )
+        if self.delivery == "at_most_once" and self.at_least_once:
+            raise ValueError(
+                "delivery='at_most_once' contradicts at_least_once=True"
+            )
+        if self.epoch_interval_s <= 0:
+            raise ValueError("epoch interval must be positive")
         if self.heartbeat_period_s <= 0:
             raise ValueError("heartbeat period must be positive")
         if self.suspicion_timeout_s <= self.heartbeat_period_s:
             raise ValueError(
                 "suspicion timeout must exceed the heartbeat period"
             )
+
+    @property
+    def delivery_mode(self) -> str:
+        """The resolved delivery guarantee (``delivery`` or, when that is
+        unset, the legacy ``at_least_once`` flag)."""
+        if self.delivery is not None:
+            return self.delivery
+        return "at_least_once" if self.at_least_once else "at_most_once"
+
+    @property
+    def reliability_enabled(self) -> bool:
+        """True when a :class:`~repro.dsps.reliability.ReplayCoordinator`
+        tracks one-to-many spout tuples."""
+        return self.delivery_mode != "at_most_once"
 
     @property
     def warning_waterline(self) -> float:

@@ -418,6 +418,12 @@ class BoltExecutor(ExecutorBase):
             if self.halted:
                 continue  # crashed machine: the tuple dies unprocessed
             tup: StreamTuple = at.tuple
+            reliability = self.system.reliability
+            if reliability is not None:
+                # Delivery gate: dedup (exactly-once) and commit buffering
+                # (atomic) absorb the copy before any service is charged.
+                if reliability.on_delivery(self.task_id, tup) != "execute":
+                    continue
             service = self.bolt.service_time(tup)
             if service > 0:
                 yield from self.cpu.work(service, cats.PROCESSING)
@@ -427,7 +433,6 @@ class BoltExecutor(ExecutorBase):
             self.processed += 1
             metrics.on_processed(self.operator)
             metrics.completion.on_executed(tup.tuple_id, self.task_id)
-            reliability = self.system.reliability
             if reliability is not None:
                 reliability.notify_executed(self.task_id, tup)
             tracer = self.sim.tracer

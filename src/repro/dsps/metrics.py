@@ -199,6 +199,10 @@ class MetricsHub:
         self.sink_latencies: Dict[str, List[float]] = defaultdict(list)
         self.multicast = MulticastTracker(sim)
         self.completion = CompletionTracker(sim)
+        #: tuple trees abandoned by the replay coordinator (budget
+        #: exhausted or aborted).  NOT window-gated: the checker's
+        #: conservation invariant needs every give-up ever recorded.
+        self.messages_abandoned = 0
         self._window: Optional[Tuple[float, Optional[float]]] = None
         #: callbacks that realize lazily-batched work (batched-dispatch
         #: executors register here); run by :meth:`flush` so window
@@ -272,6 +276,10 @@ class MetricsHub:
     def on_drop(self, where: str) -> None:
         if self.in_window:
             self.dropped[where] += 1
+
+    def on_abandoned(self) -> None:
+        """The replay coordinator gave up on (or aborted) a tuple tree."""
+        self.messages_abandoned += 1
 
     def on_sink_latency(self, operator: str, latency_s: float) -> None:
         if self.in_window:

@@ -1,28 +1,49 @@
-"""At-least-once delivery: acker-driven replay of one-to-many tuples.
+"""Delivery semantics: acker-driven replay, dedup, and atomic multicast.
 
-The :class:`ReplayCoordinator` wires Storm's XOR :class:`~repro.dsps.
-acker.Acker` into the spout's emission path:
+The :class:`ReplayCoordinator` implements every delivery guarantee of
+``SystemConfig.delivery`` behind one interface, wiring Storm's XOR
+:class:`~repro.dsps.acker.Acker` into the spout's emission path:
 
-* when a spout emits a one-to-many tuple, the coordinator registers a
-  tuple tree with one edge per destination task;
-* each destination task's execution sends an :class:`AckMessage` over the
+* **at_least_once** — when a spout emits a one-to-many tuple, the
+  coordinator registers a tuple tree with one edge per destination task;
+  each destination's execution sends an :class:`AckMessage` over the
   control plane to the acker's machine (real traffic, so ack overhead
-  shows up in the fabric counters);
-* a periodic sweep fails trees older than ``ack_timeout_s`` and replays
-  them from the spout with exponential backoff, up to ``max_replays``
-  attempts.
+  shows up in the fabric counters).  A periodic sweep fails trees older
+  than ``ack_timeout_s`` and replays the *whole* envelope from the spout
+  with jittered exponential backoff, up to ``max_replays`` attempts.
+  Replays re-execute everywhere (Storm semantics); the set-based metrics
+  trackers dedup so duplicates never inflate throughput.
+* **exactly_once** — at-least-once plus a per-destination dedup table:
+  a replayed tuple already executed at task T is *acked but not
+  re-executed* (the idempotent-execution contract), and replays are
+  *selective* — only the destinations whose acks are missing (the
+  ``acked_tasks`` set) are re-delivered, point-to-point rather than down
+  the multicast tree.  Epoch barriers flow through the spout's
+  registration path: every ``epoch_interval_s`` the current epoch
+  closes, and once all of a closed epoch's trees have settled the epoch
+  commits and its dedup state is garbage-collected.
+* **atomic** — a Spindle-style sender-ordered, all-or-none multicast
+  over the same tree machinery.  Destinations *buffer* the tuple on
+  arrival and ack receipt; when every live destination has received a
+  tree, the coordinator *commits* it — in per-sender sequence order,
+  with commit notices opportunistically batched per machine — and only
+  then do destinations execute.  A tree that exhausts its replay budget
+  is *aborted*: no destination ever executes it (all-or-none).  Crashed
+  machines are excised from the delivery set at registration/crash time
+  (fail-stop membership, as Spindle's membership service would).
 
-Replays re-deliver to *every* destination (Storm semantics); the
-set-based metrics trackers (:class:`~repro.dsps.metrics.MulticastTracker`
-/ :class:`~repro.dsps.metrics.CompletionTracker`) count each destination
-once, so duplicates never inflate throughput or shorten latency.
+Dedup state lives with the coordinator (conceptually: checkpointed
+control-plane state at the trackers), so it survives machine crashes the
+way a checkpoint would; the in-flight *claims* that guard concurrent
+duplicate execution are volatile and are purged on crash, which is what
+lets a crash-interrupted execution be replayed.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.dsps.acker import Acker
 
@@ -34,11 +55,28 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass(frozen=True)
 class AckMessage:
-    """Control-plane payload: destination ``task_id`` executed the tuple
-    rooted at ``root_id``."""
+    """Control-plane payload: destination ``task_id`` acknowledged the
+    tuple rooted at ``root_id`` (execution ack in at-least/exactly-once
+    modes, receipt ack in atomic mode)."""
 
     root_id: int
     task_id: int
+
+
+@dataclass(frozen=True)
+class CommitMessage:
+    """Atomic mode: the listed roots are stable everywhere — release
+    their buffered copies for execution (batched per machine)."""
+
+    roots: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class AbortMessage:
+    """Atomic mode: the listed roots exhausted their replay budget —
+    purge any buffered copy, they will never execute."""
+
+    roots: Tuple[int, ...]
 
 
 @dataclass(frozen=True)
@@ -58,16 +96,52 @@ class _PendingTree:
     registered_at: float
     attempts: int = 0
     acked_tasks: set = field(default_factory=set)
+    #: registration epoch (dedup GC barrier).
+    epoch: int = 0
+    #: atomic mode: sender task id and per-sender sequence number.
+    sender: int = -1
+    seq: int = -1
+
+
+@dataclass
+class _AtomicAudit:
+    """Per-root evidence for the group-atomicity invariant."""
+
+    root_id: int
+    sender: int
+    seq: int
+    dst_tasks: frozenset
+    status: str = "pending"  # pending | committed | aborted
+    #: tasks excused from delivery (machine crashed: fail-stop membership).
+    excused: Set[int] = field(default_factory=set)
+    executed: Set[int] = field(default_factory=set)
+    commit_t: Optional[float] = None
+
+    def violation(self) -> Optional[str]:
+        if self.status == "aborted" and self.executed:
+            return (
+                f"aborted root {self.root_id} executed at tasks "
+                f"{sorted(self.executed)}"
+            )
+        if self.status == "committed":
+            missing = self.dst_tasks - self.executed - self.excused
+            if missing:
+                return (
+                    f"committed root {self.root_id} never executed at "
+                    f"tasks {sorted(missing)}"
+                )
+        return None
 
 
 class ReplayCoordinator:
-    """Per-system replay engine (one acker task, Storm-style)."""
+    """Per-system delivery-semantics engine (one acker task, Storm-style)."""
 
     def __init__(self, system: "DspsSystem"):
         self.system = system
         self.sim = system.sim
         cfg = system.config
         self.config = cfg
+        self.mode = cfg.delivery_mode
         # The acker task lives with a broadcasting spout (Storm places
         # ackers as ordinary tasks; co-locating with the source keeps
         # the register path local while acks travel the real network).
@@ -84,22 +158,84 @@ class ReplayCoordinator:
             self.home_machine = system.spout_executors[0].machine_id
         else:
             self.home_machine = min(system.workers)
-        seed_stream = system.rng.stream("acker")
+        # One seeded stream feeds both the acker's edge ids and the
+        # replay-backoff jitter, so a run is deterministic per seed.
+        self._rng = system.rng.stream("acker")
         self.acker = Acker(
             now_fn=lambda: self.sim.now,
             timeout_s=cfg.ack_timeout_s,
-            seed=int(seed_stream.integers(0, 2**31)),
+            seed=int(self._rng.integers(0, 2**31)),
         )
         self._tree_ids = itertools.count(1)
         #: acker tree id -> pending bookkeeping.
         self._pending: Dict[int, _PendingTree] = {}
+        #: root tuple id -> tree id, while the tree is pending.
+        self._root_tree: Dict[int, int] = {}
         #: (root tuple id, destination task) -> (tree id, edge id).
         self._edges: Dict[Tuple[int, int], Tuple[int, int]] = {}
         self.registered = 0
         self.replays = 0
         self.completions: List[CompletionRecord] = []
         self.gave_up: List[int] = []
+
+        # --- dedup / idempotent-execution state (reliable modes) ---------
+        #: root -> tasks that *completed* an execution (durable: survives
+        #: crashes like checkpointed state; GC'd by epoch commit).
+        self._executed: Dict[int, Set[int]] = {}
+        #: root -> tasks with an execution *in flight* (volatile: purged
+        #: when the task's machine crashes).
+        self._claimed: Dict[int, Set[int]] = {}
+        #: executions of a (root, task) pair beyond the first — the
+        #: no-duplicate-side-effects invariant requires 0 in
+        #: exactly_once/atomic; at_least_once merely counts them.
+        self.duplicate_executions = 0
+        #: duplicate deliveries suppressed before execution.
+        self.duplicates_suppressed = 0
+
+        # --- epoch barriers ----------------------------------------------
+        self._epoch = 0
+        #: epoch -> roots registered in it (kept until the epoch commits).
+        self._epoch_roots: Dict[int, List[int]] = {0: []}
+        #: epoch -> trees not yet settled (completed/committed/aborted).
+        self._epoch_open: Dict[int, int] = {0: 0}
+        self._oldest_uncommitted = 0
+        self.epochs_committed = 0
+
+        # --- atomic multicast ----------------------------------------------
+        #: sender task -> next sequence number to assign.
+        self._seq_next: Dict[int, int] = {}
+        #: sender task -> next sequence number to commit.
+        self._commit_next: Dict[int, int] = {}
+        #: sender task -> {seq: tree id} awaiting commit-order release.
+        self._sender_queue: Dict[int, Dict[int, int]] = {}
+        #: tree id -> "stable" | "aborted" (absent = still pending).
+        self._tree_status: Dict[int, str] = {}
+        #: root -> {task: buffered tuple} held back until commit.
+        self._held: Dict[int, Dict[int, object]] = {}
+        #: root -> tasks whose released copy is still riding the inqueue
+        #: (audit judgment defers while any release is in flight).
+        self._in_release: Dict[int, Set[int]] = {}
+        self._committed_roots: Set[int] = set()
+        self._aborted_roots: Set[int] = set()
+        #: root -> last commit/abort notice instant (for sweep retries).
+        self._notice_sent_at: Dict[int, float] = {}
+        self.commits = 0
+        self.aborts = 0
+        #: commit buffer entries dropped on inqueue overflow (excused).
+        self.commit_drops = 0
+        #: sender -> committed seqs, in commit order (order invariant).
+        self.commit_order: Dict[int, List[int]] = {}
+        #: group-atomicity breaches found when audits are GC'd.
+        self.atomic_violations: List[str] = []
+        #: root -> audit record (atomic mode only; GC'd by epoch commit).
+        self._audit: Dict[int, _AtomicAudit] = {}
+
         system.workers[self.home_machine].add_control_handler(self._on_control)
+        if self.mode == "atomic":
+            for machine, worker in system.workers.items():
+                worker.add_control_handler(
+                    lambda payload, m=machine: self._on_notice(m, payload)
+                )
         self._started = False
 
     # ------------------------------------------------------------------
@@ -108,6 +244,7 @@ class ReplayCoordinator:
             return
         self._started = True
         self.sim.process(self._sweep_loop())
+        self.sim.process(self._epoch_loop())
 
     # ------------------------------------------------------------------
     # spout side
@@ -115,50 +252,169 @@ class ReplayCoordinator:
     def register(self, executor: "ExecutorBase", env: "Envelope") -> None:
         """Track one accepted one-to-many spout envelope."""
         tree_id = next(self._tree_ids)
+        root = env.tuple.tuple_id
         record = _PendingTree(
-            executor=executor, envelope=env, registered_at=self.sim.now
+            executor=executor,
+            envelope=env,
+            registered_at=self.sim.now,
+            epoch=self._epoch,
         )
         self._pending[tree_id] = record
-        self._register_edges(tree_id, record)
+        self._root_tree[root] = tree_id
+        self._epoch_roots[self._epoch].append(root)
+        self._epoch_open[self._epoch] += 1
         self.registered += 1
+        tasks = list(env.dst_tasks)
+        if self.mode == "atomic":
+            sender = executor.task_id
+            seq = self._seq_next.get(sender, 0)
+            self._seq_next[sender] = seq + 1
+            record.sender = sender
+            record.seq = seq
+            self._sender_queue.setdefault(sender, {})[seq] = tree_id
+            self._commit_next.setdefault(sender, 0)
+            # Fail-stop membership: destinations on crashed machines are
+            # excused up front — all-or-none is over *live* destinations.
+            machine_of = self.system.placement.machine_of
+            live = [
+                t for t in tasks
+                if not self.system.machine_is_crashed(machine_of[t])
+            ]
+            audit = _AtomicAudit(
+                root_id=root,
+                sender=sender,
+                seq=seq,
+                dst_tasks=frozenset(tasks),
+                excused=set(tasks) - set(live),
+            )
+            self._audit[root] = audit
+            tasks = live
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit(
                 "ack.register",
                 self.sim.now,
                 tree=tree_id,
-                root=env.tuple.tuple_id,
+                root=root,
                 operator=env.dst_operator,
                 n_dsts=len(env.dst_tasks),
+                epoch=record.epoch,
             )
+        self._register_edges(tree_id, record, tasks)
 
-    def _register_edges(self, tree_id: int, record: _PendingTree) -> None:
+    def _register_edges(
+        self,
+        tree_id: int,
+        record: _PendingTree,
+        tasks: Optional[List[int]] = None,
+    ) -> None:
         """(Re-)register the tree: edge 0 spout->acker, one edge per
-        destination task, all alive until each destination acks."""
+        destination task, all alive until each destination acks.
+        ``tasks`` restricts the edge set (selective replay, fail-stop
+        exclusions); default is every destination."""
         root = record.envelope.tuple.tuple_id
+        if tasks is None:
+            tasks = list(record.envelope.dst_tasks)
         edge0 = self.acker.new_edge_id()
         self.acker.register(tree_id, edge0)
-        task_edges = {
-            task: self.acker.new_edge_id()
-            for task in record.envelope.dst_tasks
-        }
-        self.acker.ack(tree_id, edge0, list(task_edges.values()))
+        task_edges = {task: self.acker.new_edge_id() for task in tasks}
         for task, edge in task_edges.items():
             self._edges[(root, task)] = (tree_id, edge)
+        outcome = self.acker.ack(tree_id, edge0, list(task_edges.values()))
+        if outcome is not None and outcome.completed:
+            # Zero live destinations (every machine crashed): the tree is
+            # trivially complete the instant it is registered.
+            self._on_tree_complete(tree_id)
 
     # ------------------------------------------------------------------
-    # bolt side
+    # bolt side: the delivery gate + execution notification
     # ------------------------------------------------------------------
+    def on_delivery(self, task_id: int, tup) -> str:
+        """Gate one tuple about to be executed at ``task_id``.
+
+        Returns ``"execute"`` to proceed; anything else means the copy
+        was absorbed here (``"duplicate"`` suppressed by dedup, ``"hold"``
+        buffered until its group commits, ``"aborted"`` purged)."""
+        if self.mode == "at_least_once":
+            return "execute"  # Storm semantics: duplicates re-execute
+        root = tup.root_id
+        executed = self._executed.get(root)
+        if executed is not None and task_id in executed:
+            # Idempotent-execution contract: already executed here — ack
+            # again (the replay minted a fresh edge) but do not re-run.
+            self.duplicates_suppressed += 1
+            self._ack_if_tracked(task_id, root)
+            self._trace_dedup(root, task_id)
+            return "duplicate"
+        claimed = self._claimed.get(root)
+        if claimed is not None and task_id in claimed:
+            # Another copy is mid-service at this task; it will ack when
+            # it completes (or the claim is purged if the machine dies).
+            self.duplicates_suppressed += 1
+            self._trace_dedup(root, task_id)
+            return "duplicate"
+        if self.mode == "atomic":
+            return self._on_delivery_atomic(task_id, tup, root)
+        # exactly_once: claim at the decision point so two in-flight
+        # copies can never both reach the bolt.
+        if root in self._root_tree or executed is not None:
+            self._claimed.setdefault(root, set()).add(task_id)
+        return "execute"
+
+    def _on_delivery_atomic(self, task_id: int, tup, root: int) -> str:
+        if root in self._aborted_roots:
+            return "aborted"
+        if root in self._committed_roots:
+            # Released (or late) copy of a committed tree: execute once.
+            self._claimed.setdefault(root, set()).add(task_id)
+            return "execute"
+        tree_id = self._root_tree.get(root)
+        if tree_id is None:
+            return "execute"  # untracked stream (no one-to-many tree)
+        # Pending tree: buffer the first copy, ack receipt; duplicates
+        # from a whole-tree replay re-ack against the fresh edge.
+        held = self._held.setdefault(root, {})
+        if task_id not in held:
+            held[task_id] = tup
+        self._ack_if_tracked(task_id, root)
+        return "hold"
+
     def notify_executed(self, task_id: int, tup) -> None:
         """Called by every bolt execution; no-op for untracked tuples."""
-        key = (tup.root_id, task_id)
-        entry = self._edges.get(key)
+        root = tup.root_id
+        tracked = (
+            root in self._root_tree
+            or root in self._executed
+            or root in self._committed_roots
+        )
+        if tracked and self.mode != "at_most_once":
+            executed = self._executed.setdefault(root, set())
+            if task_id in executed:
+                self.duplicate_executions += 1
+            executed.add(task_id)
+            claimed = self._claimed.get(root)
+            if claimed is not None:
+                claimed.discard(task_id)
+            audit = self._audit.get(root)
+            if audit is not None:
+                audit.executed.add(task_id)
+        if self.mode == "atomic":
+            pending = self._in_release.get(root)
+            if pending is not None:
+                pending.discard(task_id)
+                if not pending:
+                    del self._in_release[root]
+            return  # receipt was acked at delivery; commit is the ack
+        self._ack_if_tracked(task_id, root)
+
+    def _ack_if_tracked(self, task_id: int, root: int) -> None:
+        entry = self._edges.get((root, task_id))
         if entry is None:
             return
         machine = self.system.placement.machine_of[task_id]
         if self.system.machine_is_crashed(machine):
             return  # execution raced the crash; the ack dies with it
-        self.sim.process(self._send_ack(machine, key))
+        self.sim.process(self._send_ack(machine, (root, task_id)))
 
     def _send_ack(self, machine: int, key: Tuple[int, int]):
         root, task = key
@@ -166,6 +422,11 @@ class ReplayCoordinator:
         yield from self.system.control_send(
             machine, self.home_machine, AckMessage(root, task), worker.cpu
         )
+
+    def _trace_dedup(self, root: int, task_id: int) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit("ack.dedup", self.sim.now, root=root, task=task_id)
 
     # ------------------------------------------------------------------
     # acker machine: control-plane delivery
@@ -182,13 +443,26 @@ class ReplayCoordinator:
             record.acked_tasks.add(payload.task_id)
         outcome = self.acker.ack(tree_id, edge)
         if outcome is not None and outcome.completed:
+            self._on_tree_complete(tree_id)
+
+    def _on_tree_complete(self, tree_id: int) -> None:
+        """Every (live) destination acked: complete now, or — in atomic
+        mode — mark stable and commit in sender order."""
+        if self.mode != "atomic":
             self._on_complete(tree_id)
+            return
+        record = self._pending.get(tree_id)
+        if record is None:  # pragma: no cover - defensive
+            return
+        self._tree_status[tree_id] = "stable"
+        self._pump_commits(record.sender)
 
     def _on_complete(self, tree_id: int) -> None:
         record = self._pending.pop(tree_id, None)
         if record is None:  # pragma: no cover - defensive
             return
         root = record.envelope.tuple.tuple_id
+        self._root_tree.pop(root, None)
         self.completions.append(
             CompletionRecord(
                 root_id=root,
@@ -197,6 +471,7 @@ class ReplayCoordinator:
                 attempts=record.attempts,
             )
         )
+        self._settle_epoch(record.epoch)
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit(
@@ -208,6 +483,224 @@ class ReplayCoordinator:
             )
 
     # ------------------------------------------------------------------
+    # atomic mode: sender-ordered commit / abort
+    # ------------------------------------------------------------------
+    def _pump_commits(self, sender: int) -> None:
+        """Commit stable trees of ``sender`` in sequence order; notices
+        for trees committing at the same instant batch per machine."""
+        queue = self._sender_queue.get(sender)
+        if queue is None:
+            return
+        nxt = self._commit_next.get(sender, 0)
+        committed_roots: List[int] = []
+        while nxt in queue:
+            tree_id = queue[nxt]
+            status = self._tree_status.get(tree_id)
+            if status == "aborted":
+                del queue[nxt]
+                self._tree_status.pop(tree_id, None)
+                nxt += 1
+                continue
+            if status != "stable":
+                break  # head of line still in flight: hold back commits
+            del queue[nxt]
+            self._tree_status.pop(tree_id, None)
+            committed_roots.append(self._commit_tree(tree_id, nxt))
+            nxt += 1
+        self._commit_next[sender] = nxt
+        if committed_roots:
+            self._broadcast_notice(committed_roots, commit=True)
+
+    def _commit_tree(self, tree_id: int, seq: int) -> int:
+        record = self._pending.pop(tree_id)
+        root = record.envelope.tuple.tuple_id
+        self._root_tree.pop(root, None)
+        self._committed_roots.add(root)
+        self.commits += 1
+        self.commit_order.setdefault(record.sender, []).append(seq)
+        audit = self._audit.get(root)
+        if audit is not None:
+            audit.status = "committed"
+            audit.commit_t = self.sim.now
+        self.completions.append(
+            CompletionRecord(
+                root_id=root,
+                completed_at=self.sim.now,
+                registered_at=record.registered_at,
+                attempts=record.attempts,
+            )
+        )
+        self._settle_epoch(record.epoch)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "atomic.commit",
+                self.sim.now,
+                root=root,
+                sender=record.sender,
+                seq=seq,
+                attempts=record.attempts,
+                latency_s=self.sim.now - record.registered_at,
+            )
+        return root
+
+    def _abort_tree(self, tree_id: int, record: _PendingTree) -> None:
+        root = record.envelope.tuple.tuple_id
+        self._pending.pop(tree_id, None)
+        self._root_tree.pop(root, None)
+        self._aborted_roots.add(root)
+        self._tree_status[tree_id] = "aborted"
+        self.aborts += 1
+        self.gave_up.append(root)
+        self.system.metrics.on_abandoned()
+        audit = self._audit.get(root)
+        if audit is not None:
+            audit.status = "aborted"
+        self._settle_epoch(record.epoch)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "atomic.abort",
+                self.sim.now,
+                root=root,
+                sender=record.sender,
+                seq=record.seq,
+                attempts=record.attempts - 1,
+            )
+        if self._held.get(root):
+            self._broadcast_notice([root], commit=False)
+        self._pump_commits(record.sender)
+
+    def _broadcast_notice(self, roots: List[int], commit: bool) -> None:
+        """Send one Commit/AbortMessage per destination machine holding a
+        buffered copy (opportunistic batching: one notice covers every
+        root that settled at this instant)."""
+        machine_of = self.system.placement.machine_of
+        by_machine: Dict[int, List[int]] = {}
+        for root in roots:
+            self._notice_sent_at[root] = self.sim.now
+            for task in self._held.get(root, ()):
+                by_machine.setdefault(machine_of[task], []).append(root)
+        payload_cls = CommitMessage if commit else AbortMessage
+        for machine, machine_roots in sorted(by_machine.items()):
+            if self.system.machine_is_crashed(machine):
+                continue  # its buffers died with it (purged on crash)
+            payload = payload_cls(roots=tuple(sorted(set(machine_roots))))
+            self.sim.process(self._send_notice(machine, payload))
+
+    def _send_notice(self, machine: int, payload):
+        worker = self.system.workers[self.home_machine]
+        yield from self.system.control_send(
+            self.home_machine, machine, payload, worker.cpu
+        )
+
+    def _on_notice(self, machine: int, payload) -> None:
+        """Commit/abort notice arriving at a destination machine."""
+        if isinstance(payload, CommitMessage):
+            self._release_held(machine, payload.roots)
+        elif isinstance(payload, AbortMessage):
+            self._purge_held(machine, payload.roots)
+
+    def _release_held(self, machine: int, roots: Tuple[int, ...]) -> None:
+        machine_of = self.system.placement.machine_of
+        for root in roots:
+            held = self._held.get(root)
+            if not held:
+                continue
+            local = [t for t in held if machine_of[t] == machine]
+            for task in local:
+                tup = held.pop(task)
+                executor = self.system.executors[task]
+                from repro.dsps.tuples import AddressedTuple
+
+                if executor.accept(AddressedTuple(task, tup)):
+                    self._in_release.setdefault(root, set()).add(task)
+                else:
+                    # Inqueue overflow: the committed copy is lost at
+                    # this destination — excuse it so group-atomicity
+                    # accounting stays honest.
+                    self.commit_drops += 1
+                    audit = self._audit.get(root)
+                    if audit is not None:
+                        audit.excused.add(task)
+            if not held:
+                self._held.pop(root, None)
+
+    def _purge_held(self, machine: int, roots: Tuple[int, ...]) -> None:
+        machine_of = self.system.placement.machine_of
+        for root in roots:
+            held = self._held.get(root)
+            if not held:
+                continue
+            for task in [t for t in held if machine_of[t] == machine]:
+                held.pop(task)
+            if not held:
+                self._held.pop(root, None)
+
+    # ------------------------------------------------------------------
+    # fault hooks
+    # ------------------------------------------------------------------
+    def on_machine_crash(self, machine: int) -> None:
+        """A machine fail-stopped: purge its volatile delivery state.
+
+        * in-flight execution claims die (so a replay may re-execute);
+        * buffered atomic copies die — if the tree already counted this
+          destination's receipt ack, the task is excused (it can never
+          execute the committed tree: the post-commit crash window);
+        * live atomic trees forgive the crashed destinations' edges so
+          the group can still commit over the live membership.
+        """
+        machine_of = self.system.placement.machine_of
+        for root, claimed in list(self._claimed.items()):
+            executed = self._executed.get(root, set())
+            stale = {
+                t for t in claimed
+                if machine_of[t] == machine and t not in executed
+            }
+            claimed -= stale
+            if not claimed:
+                self._claimed.pop(root, None)
+        if self.mode != "atomic":
+            return
+        for root, held in list(self._held.items()):
+            lost = [t for t in held if machine_of[t] == machine]
+            for task in lost:
+                held.pop(task)
+                audit = self._audit.get(root)
+                if audit is not None:
+                    audit.excused.add(task)
+            if not held:
+                self._held.pop(root, None)
+        # Released copies queued on the crashed machine die with its
+        # inqueues: the post-commit crash window (excused).
+        for root, pending in list(self._in_release.items()):
+            lost = {t for t in pending if machine_of[t] == machine}
+            for task in lost:
+                audit = self._audit.get(root)
+                if audit is not None:
+                    audit.excused.add(task)
+            pending -= lost
+            if not pending:
+                self._in_release.pop(root, None)
+        # Forgive pending edges of tasks on the crashed machine: ack on
+        # their behalf so all-or-none ranges over live destinations only.
+        for (root, task), (tree_id, edge) in list(self._edges.items()):
+            if machine_of[task] != machine:
+                continue
+            if tree_id not in self._pending:
+                continue
+            del self._edges[(root, task)]
+            audit = self._audit.get(root)
+            if audit is not None:
+                audit.excused.add(task)
+            record = self._pending.get(tree_id)
+            if record is not None:
+                record.acked_tasks.add(task)
+            outcome = self.acker.ack(tree_id, edge)
+            if outcome is not None and outcome.completed:
+                self._on_tree_complete(tree_id)
+
+    # ------------------------------------------------------------------
     # timeout sweep + replay
     # ------------------------------------------------------------------
     def _sweep_loop(self):
@@ -216,6 +709,24 @@ class ReplayCoordinator:
             yield self.sim.timeout(cfg.ack_sweep_interval_s)
             for outcome in self.acker.sweep():
                 self._on_timeout(outcome.root_id)
+            if self.mode == "atomic":
+                self._retry_notices()
+
+    def _retry_notices(self) -> None:
+        """Re-send commit/abort notices for roots that still hold
+        buffered copies (the notice died on a down link or machine)."""
+        stale = [
+            root
+            for root, sent_at in self._notice_sent_at.items()
+            if self._held.get(root)
+            and self.sim.now - sent_at >= self.config.ack_timeout_s
+        ]
+        for root in stale:
+            self._broadcast_notice([root], commit=root in self._committed_roots)
+        for root in [
+            r for r in self._notice_sent_at if not self._held.get(r)
+        ]:
+            self._notice_sent_at.pop(root, None)
 
     def _on_timeout(self, tree_id: int) -> None:
         record = self._pending.get(tree_id)
@@ -230,8 +741,21 @@ class ReplayCoordinator:
         record.attempts += 1
         tracer = self.sim.tracer
         if record.attempts > self.config.max_replays:
+            if self.mode == "atomic":
+                if tracer is not None:
+                    tracer.emit(
+                        "fault.replay_give_up",
+                        self.sim.now,
+                        root=root,
+                        attempts=record.attempts - 1,
+                    )
+                self._abort_tree(tree_id, record)
+                return
             self._pending.pop(tree_id, None)
+            self._root_tree.pop(root, None)
             self.gave_up.append(root)
+            self.system.metrics.on_abandoned()
+            self._settle_epoch(record.epoch)
             if tracer is not None:
                 tracer.emit(
                     "fault.replay_give_up",
@@ -243,6 +767,11 @@ class ReplayCoordinator:
         backoff = self.config.replay_backoff_base_s * (
             2 ** (record.attempts - 1)
         )
+        if backoff > 0:
+            # Deterministic jitter (seeded "acker" stream): trees failed
+            # by the same sweep spread over [backoff, 2*backoff) instead
+            # of replaying in lockstep.
+            backoff *= 1.0 + float(self._rng.uniform(0.0, 1.0))
         self.replays += 1
         if tracer is not None:
             tracer.emit(
@@ -254,20 +783,150 @@ class ReplayCoordinator:
             )
         self.sim.process(self._replay(tree_id, record, backoff))
 
+    def _replay_tasks(self, record: _PendingTree) -> List[int]:
+        """The destinations a replay must reach."""
+        tasks = list(record.envelope.dst_tasks)
+        if self.mode == "exactly_once":
+            # Selective replay: only destinations whose ack is missing.
+            tasks = [t for t in tasks if t not in record.acked_tasks]
+        elif self.mode == "atomic":
+            machine_of = self.system.placement.machine_of
+            audit = self._audit.get(record.envelope.tuple.tuple_id)
+            excused = audit.excused if audit is not None else set()
+            tasks = [
+                t for t in tasks
+                if t not in excused
+                and not self.system.machine_is_crashed(machine_of[t])
+            ]
+        return tasks
+
     def _replay(self, tree_id: int, record: _PendingTree, backoff: float):
         if backoff > 0:
             yield self.sim.timeout(backoff)
         if tree_id not in self._pending:  # pragma: no cover - defensive
             return
-        self._register_edges(tree_id, record)
+        tasks = self._replay_tasks(record)
+        self._register_edges(tree_id, record, tasks)
+        if tree_id not in self._pending:
+            return  # zero live destinations: completed at registration
+        env = record.envelope
+        if self.mode == "exactly_once" and set(tasks) != set(env.dst_tasks):
+            # Point repair: re-deliver only the unacked destinations,
+            # bypassing the multicast tree (Envelope.selective).
+            from repro.dsps.comm import Envelope
+
+            env = Envelope(
+                tuple=env.tuple,
+                dst_operator=env.dst_operator,
+                dst_tasks=tasks,
+                one_to_many=True,
+                selective=True,
+            )
         # Re-enqueue at the spout; a blocking put applies backpressure
         # instead of silently dropping the replay when the queue is full.
-        yield record.executor.transfer_queue.put(record.envelope)
+        yield record.executor.transfer_queue.put(env)
+
+    # ------------------------------------------------------------------
+    # epoch barriers: close every interval, commit once settled, GC dedup
+    # ------------------------------------------------------------------
+    def _epoch_loop(self):
+        interval = self.config.epoch_interval_s
+        while True:
+            yield self.sim.timeout(interval)
+            self._epoch += 1
+            self._epoch_roots.setdefault(self._epoch, [])
+            self._epoch_open.setdefault(self._epoch, 0)
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit("epoch.open", self.sim.now, epoch=self._epoch)
+            self._try_commit_epochs()
+
+    def _settle_epoch(self, epoch: int) -> None:
+        self._epoch_open[epoch] -= 1
+        self._try_commit_epochs()
+
+    def _try_commit_epochs(self) -> None:
+        # One closed epoch of lag guards against in-flight stragglers
+        # whose dedup entry would otherwise be GC'd under them.
+        while (
+            self._oldest_uncommitted < self._epoch - 1
+            and self._epoch_open.get(self._oldest_uncommitted, 0) == 0
+        ):
+            epoch = self._oldest_uncommitted
+            roots = self._epoch_roots.pop(epoch, [])
+            self._epoch_open.pop(epoch, None)
+            deferred: List[int] = []
+            for root in roots:
+                audit = self._audit.get(root)
+                if audit is not None:
+                    problem = audit.violation()
+                    if problem is not None and self._release_pending(root):
+                        # Committed copies still buffered or riding an
+                        # inqueue: judgment (and GC) wait for them.
+                        deferred.append(root)
+                        continue
+                    self._audit.pop(root, None)
+                    if problem is not None:
+                        self.atomic_violations.append(problem)
+                self._executed.pop(root, None)
+                self._claimed.pop(root, None)
+                self._committed_roots.discard(root)
+                self._aborted_roots.discard(root)
+                self._notice_sent_at.pop(root, None)
+            if deferred:
+                self._epoch_roots[self._epoch].extend(deferred)
+            self.epochs_committed += 1
+            self._oldest_uncommitted += 1
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "epoch.commit",
+                    self.sim.now,
+                    epoch=epoch,
+                    n_roots=len(roots),
+                )
 
     # ------------------------------------------------------------------
     @property
     def outstanding(self) -> int:
         return len(self._pending)
 
+    def _release_pending(self, root: int) -> bool:
+        """True while committed copies of ``root`` are still buffered at
+        a destination or riding an inqueue toward execution."""
+        return bool(self._held.get(root)) or bool(self._in_release.get(root))
+
+    @property
+    def held_entries(self) -> int:
+        """Atomic mode: buffered or released-but-unexecuted copies
+        (drain loops should wait for these too)."""
+        return sum(len(h) for h in self._held.values()) + sum(
+            len(s) for s in self._in_release.values()
+        )
+
+    @property
+    def dedup_entries(self) -> int:
+        """Live (root, task) dedup entries (bounded by epoch GC)."""
+        return sum(len(tasks) for tasks in self._executed.values())
+
     def replayed_completions(self) -> List[CompletionRecord]:
         return [c for c in self.completions if c.attempts > 0]
+
+    def audit_violations(self) -> List[str]:
+        """Group-atomicity breaches: accumulated at epoch GC plus a
+        sweep of the audits still retained."""
+        found = list(self.atomic_violations)
+        for root, audit in self._audit.items():
+            if audit.status == "pending":
+                continue  # still in flight; judged when it settles
+            if self._release_pending(root):
+                continue  # committed copies still en route to execution
+            problem = audit.violation()
+            if problem is not None:
+                found.append(problem)
+        for sender, seqs in self.commit_order.items():
+            if seqs != sorted(seqs):
+                found.append(
+                    f"sender {sender} committed out of order: {seqs}"
+                )
+        return found

@@ -135,9 +135,9 @@ class DspsSystem:
                             worker_level=config.worker_oriented,
                         )
 
-        # --- reliability (at-least-once) -----------------------------------
+        # --- reliability (delivery semantics) -------------------------------
         self.reliability: Optional[ReplayCoordinator] = (
-            ReplayCoordinator(self) if config.at_least_once else None
+            ReplayCoordinator(self) if config.reliability_enabled else None
         )
 
         # --- fault injection -----------------------------------------------
@@ -227,6 +227,8 @@ class DspsSystem:
         for ex in self.executors.values():
             if ex.machine_id == machine_id:
                 ex.halt()
+        if self.reliability is not None:
+            self.reliability.on_machine_crash(machine_id)
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit("fault.crash", self.sim.now, machine=machine_id)

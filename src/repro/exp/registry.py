@@ -317,6 +317,13 @@ SPECS: Tuple[ExperimentSpec, ...] = (
         seed=42,
         timeout_s=120.0,
     ),
+    ExperimentSpec(
+        name="ablation_delivery_semantics",
+        fn_ref=f"{_FAULTS}:ablation_delivery_semantics",
+        category="ablation",
+        seed=42,
+        timeout_s=180.0,
+    ),
 )
 
 REGISTRY: Dict[str, ExperimentSpec] = {spec.name: spec for spec in SPECS}

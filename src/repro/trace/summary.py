@@ -74,6 +74,8 @@ class TraceSummary:
     faults: List[Dict[str, Any]] = field(default_factory=list)
     #: every ``switch.repair`` record (tree self-healing audit log).
     repair_ops: List[Dict[str, Any]] = field(default_factory=list)
+    #: delivery-semantics records: ``epoch.*``, ``atomic.*``, ``ack.dedup``.
+    delivery: List[Dict[str, Any]] = field(default_factory=list)
 
     def fault_timeline(self) -> List[Tuple[float, str, Any]]:
         """(t, event, target) rows for crash/recovery/suspicion events."""
@@ -105,6 +107,7 @@ def summarize(
     rewires: List[Dict[str, Any]] = []
     faults: List[Dict[str, Any]] = []
     repair_ops: List[Dict[str, Any]] = []
+    delivery: List[Dict[str, Any]] = []
     t_min, t_max = float("inf"), float("-inf")
     for rec in records:
         t = rec.get("t", 0.0)
@@ -143,6 +146,8 @@ def summarize(
             repair_ops.append(rec)
         elif kind.startswith("fault."):
             faults.append(rec)
+        elif kind.startswith(("epoch.", "atomic.")) or kind == "ack.dedup":
+            delivery.append(rec)
     if t_min > t_max:
         t_min = t_max = 0.0
     summary = TraceSummary(
@@ -156,6 +161,7 @@ def summarize(
         time_range=(t_min, t_max),
         faults=faults,
         repair_ops=repair_ops,
+        delivery=delivery,
     )
     summary.complete_spans = [
         s for s in spans.values() if s.multicast_latency is not None
@@ -293,6 +299,21 @@ def render_faults(summary: TraceSummary) -> str:
             f"{len({r.get('root') for r in replays})} roots, "
             f"{len(gave_up)} gave up"
         )
+    if gave_up:
+        lines.append(f"  messages abandoned: {len(gave_up)}")
+    if summary.delivery:
+        kinds = Counter(rec["kind"] for rec in summary.delivery)
+        parts = []
+        if kinds.get("epoch.commit"):
+            parts.append(f"epochs committed: {kinds['epoch.commit']}")
+        if kinds.get("ack.dedup"):
+            parts.append(f"duplicates suppressed: {kinds['ack.dedup']}")
+        if kinds.get("atomic.commit"):
+            parts.append(f"atomic commits: {kinds['atomic.commit']}")
+        if kinds.get("atomic.abort"):
+            parts.append(f"atomic aborts: {kinds['atomic.abort']}")
+        if parts:
+            lines.append("  delivery: " + "  ".join(parts))
     return "\n".join(lines)
 
 

@@ -37,6 +37,8 @@ ALL_CATEGORIES = frozenset(
         "switch",
         "fault",
         "ack",
+        "epoch",
+        "atomic",
         "check",
     }
 )

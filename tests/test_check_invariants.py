@@ -28,6 +28,8 @@ EXPECTED_CATALOG = {
     "queue_conservation": "state",
     "tracker_conservation": "state",
     "replay_conservation": "state",
+    "no_duplicate_side_effects": "state",
+    "group_atomicity": "final",
     "tree_structure": "state",
     "fabric_conservation": "state",
     "crash_quarantine": "final",

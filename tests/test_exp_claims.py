@@ -90,6 +90,24 @@ def _structure_tables(ordered=True):
     return (thru, lat, mcast)
 
 
+def _delivery_tables(zero_dups=True, bounded=True):
+    table = Table(
+        "Ablation: delivery semantics",
+        [
+            "delivery", "goodput tuple/s", "p50 latency ms", "recovery ms",
+            "replays", "dup execs", "dups suppressed", "abandoned",
+            "commits", "aborts", "ctl KB",
+        ],
+    )
+    eo_goodput = 200.0 if bounded else 40.0
+    eo_dups = 0 if zero_dups else 17
+    table.add("at_most_once", 80.0, 3.5, float("nan"), 0, 0, 0, 0, 0, 0, 45.0)
+    table.add("at_least_once", 210.0, 170.0, 900.0, 140, 2800, 0, 0, 0, 0, 380.0)
+    table.add("exactly_once", eo_goodput, 170.0, 890.0, 130, eo_dups, 300, 0, 0, 0, 240.0)
+    table.add("atomic", 60.0, 120.0, 870.0, 10, 0, 260, 0, 170, 0, 270.0)
+    return (table,)
+
+
 def _populate_all(store):
     _put(store, "fig13_14", _endtoend_tables(1_000.0, 2_000.0, 3_000.0))
     _put(store, "fig15_16", _endtoend_tables(900.0, 1_800.0, 2_700.0))
@@ -98,6 +116,7 @@ def _populate_all(store):
     _put(store, "fig23_24", _fig23_24_tables())
     _put(store, "fig17_18_21", _structure_tables())
     _put(store, "fig19_20_22", _structure_tables())
+    _put(store, "ablation_delivery_semantics", _delivery_tables())
 
 
 def test_empty_store_skips_every_claim(tmp_path):
@@ -143,6 +162,16 @@ def test_conforming_results_pass_every_claim(tmp_path):
             "fig17_18_21",
             _structure_tables(ordered=False),
             "multicast-structure-latency-ridehailing",
+        ),
+        (
+            "ablation_delivery_semantics",
+            _delivery_tables(zero_dups=False),
+            "exactly-once-bounded-overhead",
+        ),
+        (
+            "ablation_delivery_semantics",
+            _delivery_tables(bounded=False),
+            "exactly-once-bounded-overhead",
         ),
     ],
 )
