@@ -1,0 +1,27 @@
+"""Ablation — overload protection under a seeded flash crowd + crash.
+
+Six runs (three delivery modes x flow off/on) share the identical fault
+schedule: an 8x flash crowd, one slowed machine, and one crash.  With
+the flow layer on, credits must keep inqueue high-water marks near the
+credit window while the unprotected runs grow them by an order of
+magnitude, and the replay budget must cut the replay storm.
+"""
+
+from _util import run_figure
+from repro.bench.faults import OVERLOAD_CREDIT_WINDOW, ablation_overload
+
+
+def test_ablation_overload(benchmark):
+    (table,) = run_figure(benchmark, ablation_overload, "ablation_overload")
+    rows = {(r[0], r[1]): r for r in table.rows}
+    hwm, shed, deferred, stall, replays = 4, 6, 7, 8, 9
+    for mode in ("at_most_once", "at_least_once", "exactly_once"):
+        on, off = rows[(mode, "on")], rows[(mode, "off")]
+        # credits bound the backlog; unprotected runs let it grow
+        assert on[hwm] <= 4 * OVERLOAD_CREDIT_WINDOW
+        assert on[hwm] < off[hwm]
+        # protection is visible as pushback, not silent loss
+        assert on[shed] + on[deferred] + on[stall] > 0
+        if mode != "at_most_once":
+            # the replay budget tames the storm the burst would trigger
+            assert on[replays] < off[replays]

@@ -45,6 +45,12 @@ name                        scope  guards against
 ``tree_structure``          state  disconnected/cyclic multicast trees,
                                    d* cap violations, detached endpoints
                                    still wired into a tree
+``bounded_queues``          state  queues outgrowing their capacity (or
+                                   credit reservations going negative)
+                                   while flow control is on
+``shed_conservation``       state  shed/deferred messages double- or
+                                   un-counted between the flow
+                                   controller, metrics, and queues
 ``fabric_conservation``     state  message counters drifting (delivered +
                                    dead + lost <= injected)
 ``crash_quarantine``        final  crashed machines whose NIC, worker, or
@@ -215,10 +221,11 @@ def _queue_conservation(ctx: CheckContext) -> None:
                 f"{q.dropped} + waiting {waiting}",
                 queue=q.name,
             )
-        if q.accepted != q.dequeued + q.cleared + q.level:
+        shed = getattr(q, "shed", 0)
+        if q.accepted != q.dequeued + q.cleared + shed + q.level:
             ctx.fail(
                 f"accepted {q.accepted} != dequeued {q.dequeued} + cleared "
-                f"{q.cleared} + level {q.level}",
+                f"{q.cleared} + shed {shed} + level {q.level}",
                 queue=q.name,
             )
         inqueue = getattr(ex, "inqueue", None)
@@ -350,6 +357,81 @@ def _tree_structure(ctx: CheckContext) -> None:
                 f"{sorted(map(repr, missing))}",
                 edge=edge,
             )
+
+
+@invariant(
+    "bounded_queues",
+    "state",
+    "with flow control enabled no queue ever grew past its capacity and "
+    "credit reservations stay sane",
+)
+def _bounded_queues(ctx: CheckContext) -> None:
+    flow = getattr(ctx.system, "flow", None)
+    if flow is None:
+        return
+    for task_id, ex in ctx.system.executors.items():
+        q = ex.transfer_queue
+        if q.max_length > q.capacity:
+            ctx.fail(
+                f"transfer queue peaked at {q.max_length} > capacity "
+                f"{q.capacity}",
+                queue=q.name,
+            )
+        inqueue = getattr(ex, "inqueue", None)
+        if inqueue is not None and inqueue.level > inqueue.capacity:
+            ctx.fail(
+                f"inqueue level {inqueue.level} > capacity "
+                f"{inqueue.capacity}",
+                task=task_id,
+            )
+    for task_id, reserved in flow.in_flight.items():
+        if reserved < 0:
+            ctx.fail(
+                f"negative credit reservation {reserved}",
+                task=task_id,
+            )
+
+
+@invariant(
+    "shed_conservation",
+    "state",
+    "every shed or deferred message is accounted for exactly once across "
+    "the flow controller, metrics hub, and per-queue counters",
+)
+def _shed_conservation(ctx: CheckContext) -> None:
+    flow = getattr(ctx.system, "flow", None)
+    metrics = ctx.system.metrics
+    if flow is None:
+        if metrics.messages_shed or metrics.messages_deferred:
+            ctx.fail(
+                f"flow disabled but messages_shed={metrics.messages_shed} "
+                f"messages_deferred={metrics.messages_deferred}"
+            )
+        return
+    total = flow.shed_refusals + flow.shed_evictions
+    if metrics.messages_shed != total:
+        ctx.fail(
+            f"metrics.messages_shed {metrics.messages_shed} != refusals "
+            f"{flow.shed_refusals} + evictions {flow.shed_evictions}"
+        )
+    by_queue = sum(metrics.shed_by_queue.values())
+    if by_queue != total:
+        ctx.fail(
+            f"per-queue shed sum {by_queue} != flow total {total}"
+        )
+    queue_shed = sum(
+        ex.transfer_queue.shed for ex in ctx.system.executors.values()
+    )
+    if queue_shed != flow.shed_evictions:
+        ctx.fail(
+            f"queue evict counters sum to {queue_shed} != flow evictions "
+            f"{flow.shed_evictions}"
+        )
+    if metrics.messages_deferred != flow.deferred:
+        ctx.fail(
+            f"metrics.messages_deferred {metrics.messages_deferred} != "
+            f"flow.deferred {flow.deferred}"
+        )
 
 
 @invariant(

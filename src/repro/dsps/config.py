@@ -99,6 +99,38 @@ class SystemConfig:
     #: has settled (completed, committed, or abandoned)
     epoch_interval_s: float = 0.25
 
+    # --- overload protection (flow control + shedding) ----------------------
+    #: end-to-end overload-protection layer: receiver-driven credits on
+    #: one-to-many sends, a spout admission gate on the acker's pending
+    #: count, load shedding at full transfer queues (reliable modes
+    #: defer-and-retry instead of shedding), and a global replay-rate
+    #: budget.  See :mod:`repro.dsps.flow`.
+    flow: bool = False
+    #: what to do when an unreliable send meets a full transfer queue:
+    #: ``"drop_tail"`` (refuse the newcomer), ``"drop_head"`` (evict the
+    #: oldest queued envelope), or ``"random"`` (evict a seeded-random
+    #: victim)
+    shed_policy: str = "drop_tail"
+    #: per-destination-task credit window: a one-to-many send waits until
+    #: every destination's input queue + in-flight reservations fit
+    credit_window: int = 64
+    #: admission gate: spouts pause while the acker tracks this many
+    #: outstanding tuple trees (Storm's TOPOLOGY_MAX_SPOUT_PENDING);
+    #: ``None`` disables the gate
+    max_spout_pending: Optional[int] = None
+    #: global replay budget: token-bucket rate (replays/s) shared by all
+    #: pending trees, so a post-crash replay storm cannot flood the fabric
+    replay_rate_per_s: float = 200.0
+    #: token-bucket burst: replays admitted back-to-back before the rate
+    #: limit bites
+    replay_burst: int = 20
+    #: extra multiplicative backoff per unit of measured replay
+    #: congestion (throttled replays raise congestion, clean grants decay
+    #: it)
+    congestion_backoff_factor: float = 2.0
+    #: watchdog period for the flow layer's lost-wakeup safety net
+    flow_poll_interval_s: float = 0.02
+
     # --- failure detection + tree self-healing -----------------------------
     #: heartbeat-based failure detector in the multicast controller
     failure_detection: bool = False
@@ -142,6 +174,23 @@ class SystemConfig:
             )
         if self.epoch_interval_s <= 0:
             raise ValueError("epoch interval must be positive")
+        if self.shed_policy not in ("drop_tail", "drop_head", "random"):
+            raise ValueError(
+                f"unknown shed policy {self.shed_policy!r}; "
+                "choices: drop_tail, drop_head, random"
+            )
+        if self.credit_window < 1:
+            raise ValueError("credit window must be >= 1")
+        if self.max_spout_pending is not None and self.max_spout_pending < 1:
+            raise ValueError("max_spout_pending must be None or >= 1")
+        if self.replay_rate_per_s <= 0:
+            raise ValueError("replay rate must be positive")
+        if self.replay_burst < 1:
+            raise ValueError("replay burst must be >= 1")
+        if self.congestion_backoff_factor < 1:
+            raise ValueError("congestion backoff factor must be >= 1")
+        if self.flow_poll_interval_s <= 0:
+            raise ValueError("flow poll interval must be positive")
         if self.heartbeat_period_s <= 0:
             raise ValueError("heartbeat period must be positive")
         if self.suspicion_timeout_s <= self.heartbeat_period_s:

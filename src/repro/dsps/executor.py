@@ -90,6 +90,9 @@ class ExecutorBase:
         self.sent = 0
         #: True while this executor's machine is crashed.
         self.halted = False
+        #: service-time multiplier (gray failure: slow-node fault events
+        #: inflate it; ``x * 1.0`` is exact, so the default is free)
+        self.service_scale = 1.0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -124,7 +127,13 @@ class ExecutorBase:
         key: Any,
         payload_bytes: Optional[int],
         anchor: Optional[StreamTuple],
-    ) -> None:
+    ) -> bool:
+        """Emit one tuple through every grouping.
+
+        Returns ``False`` only when the flow layer *deferred* the emit
+        (reliable delivery at a full transfer queue) — the spout's
+        arrival loop then waits for space and re-offers.
+        """
         if anchor is not None:
             tup = anchor.derive(
                 stream=self.operator,
@@ -155,6 +164,7 @@ class ExecutorBase:
                 operator=self.operator,
                 task=self.task_id,
             )
+        accepted = True
         for dst_operator, (grouping, tasks) in self._groupings.items():
             dst_tasks = grouping.choose(tup, tasks)
             env = Envelope(
@@ -176,6 +186,24 @@ class ExecutorBase:
                         created_at=tup.created_at,
                     )
             if not self.transfer_queue.try_put(env):
+                flow = self.system.flow
+                reliability = self.system.reliability
+                if flow is not None and reliability is not None and self.is_spout:
+                    # Defer-and-nack: reliable delivery must not shed an
+                    # accepted tuple — hand it back to the arrival loop.
+                    if grouping.one_to_many:
+                        metrics.multicast.cancel(tup.tuple_id)
+                        metrics.completion.cancel(tup.tuple_id)
+                    flow.on_defer(self, tup.tuple_id)
+                    accepted = False
+                    continue
+                if flow is not None and reliability is None:
+                    if flow.shed_offer(self, env):
+                        continue  # a victim was evicted; env is queued
+                    if grouping.one_to_many:
+                        metrics.multicast.cancel(tup.tuple_id)
+                        metrics.completion.cancel(tup.tuple_id)
+                    continue  # the newcomer itself was shed
                 # Transfer queue overflow: stream input loss (Def. 4).
                 metrics.on_drop(f"{self.operator}.transfer_queue")
                 if grouping.one_to_many:
@@ -193,16 +221,29 @@ class ExecutorBase:
                 reliability = self.system.reliability
                 if reliability is not None:
                     reliability.register(self, env)
+        flow = self.system.flow
+        if flow is not None:
+            metrics.note_queue_depth(
+                f"{self.operator}.transfer_queue", self.transfer_queue.level
+            )
+        return accepted
 
     # ------------------------------------------------------------------
     # sending thread
     # ------------------------------------------------------------------
     def _send_loop(self):
         comm = self.system.comm
+        flow = self.system.flow
         while True:
             env = yield self.transfer_queue.get()
+            if flow is not None:
+                flow.on_transfer_drain()
             if self.halted:
                 continue  # crashed machine: the envelope dies here
+            if flow is not None:
+                yield from flow.acquire_send_credit(self, env)
+                if self.halted:
+                    continue  # crashed while stalled on credits
             t0 = self.sim.now
             n_sends = yield from comm.send(self, env)
             n_sends = max(1, n_sends or 1)
@@ -251,6 +292,10 @@ class BoltExecutor(ExecutorBase):
             self.sim, capacity=system.config.executor_queue_capacity
         )
         self.processed = 0
+        #: high-water mark of the queued (not in-service) input depth,
+        #: maintained on every accept so overload experiments can measure
+        #: queue growth with or without the flow layer
+        self.inqueue_hwm = 0
         #: dispatch mode, frozen at first accept:
         #: ``None`` = undecided, then "slow" | "timed" | "lazy".
         self._mode: Optional[str] = None
@@ -298,9 +343,12 @@ class BoltExecutor(ExecutorBase):
         self.sim.process(self._work_loop())
 
     def _pick_mode(self) -> str:
+        # The flow layer needs live input-queue depths (credits) and the
+        # event-resolved consume hook, so it pins the slow path too.
         if not (
             self.system.config.batched_dispatch
             and self.system.reliability is None
+            and self.system.flow is None
             and self.sim.tracer is None
         ):
             return "slow"
@@ -319,6 +367,8 @@ class BoltExecutor(ExecutorBase):
             ok = self.inqueue.try_put(at)
             if not ok:
                 self.system.metrics.on_drop(f"{self.operator}.inqueue")
+            elif self.inqueue.level > self.inqueue_hwm:
+                self.inqueue_hwm = self.inqueue.level
             return ok
         if mode == "lazy":
             self._flush_completed()
@@ -335,7 +385,7 @@ class BoltExecutor(ExecutorBase):
         sim = self.sim
         now = sim.now
         tup = at.tuple
-        service = self.bolt.service_time(tup)
+        service = self.bolt.service_time(tup) * self.service_scale
         start = self._busy_until
         if start < now:
             start = now
@@ -343,6 +393,8 @@ class BoltExecutor(ExecutorBase):
         self._busy_until = done
         entry = [done, service, tup, True]
         fifo.append(entry)
+        if len(fifo) - 1 > self.inqueue_hwm:
+            self.inqueue_hwm = len(fifo) - 1
         if mode == "timed":
             sim.schedule_call(done - now, lambda: self._complete_timed(entry))
         elif not self._timer_armed:
@@ -413,8 +465,11 @@ class BoltExecutor(ExecutorBase):
 
     def _work_loop(self):
         metrics = self.system.metrics
+        flow = self.system.flow
         while True:
             at = yield self.inqueue.get()
+            if flow is not None:
+                flow.on_execute(self.task_id)
             if self.halted:
                 continue  # crashed machine: the tuple dies unprocessed
             tup: StreamTuple = at.tuple
@@ -424,7 +479,7 @@ class BoltExecutor(ExecutorBase):
                 # (atomic) absorb the copy before any service is charged.
                 if reliability.on_delivery(self.task_id, tup) != "execute":
                     continue
-            service = self.bolt.service_time(tup)
+            service = self.bolt.service_time(tup) * self.service_scale
             if service > 0:
                 yield from self.cpu.work(service, cats.PROCESSING)
             if self.halted:
@@ -480,16 +535,38 @@ class SpoutExecutor(ExecutorBase):
                 f"spout {self.operator!r} has no arrival process; call "
                 "set_arrival_process() or pass arrivals= to DspsSystem"
             )
+        flow = self.system.flow
         while not self._stop:
             gap = self._arrival_gap(self.sim.now)
             if gap is None:
                 return  # arrival process exhausted
+            load = self.system.load_factor
+            if load != 1.0:
+                gap = gap / load  # flash crowd: arrivals speed up
             yield self.sim.timeout(gap)
             if self._stop:
                 return
             if self.halted:
                 continue  # crashed machine: arrivals are lost, not queued
+            if flow is not None:
+                # Admission gate: pause while the acker is at its cap.
+                yield from flow.admission_gate(self)
+                if self._stop or self.halted:
+                    continue
             values, key, nbytes = self.spout.next_tuple()
             if self.spout.emit_service_s > 0:
                 yield from self.cpu.work(self.spout.emit_service_s, cats.PROCESSING)
-            self._emit(values=values, key=key, payload_bytes=nbytes, anchor=None)
+            accepted = self._emit(
+                values=values, key=key, payload_bytes=nbytes, anchor=None
+            )
+            while not accepted and flow is not None:
+                # Deferred (reliable delivery, transfer queue full): wait
+                # for the sending thread to drain, then re-offer.
+                yield from flow.wait_for_transfer_space(
+                    self, slots=max(1, len(self._groupings))
+                )
+                if self._stop or self.halted:
+                    break
+                accepted = self._emit(
+                    values=values, key=key, payload_bytes=nbytes, anchor=None
+                )

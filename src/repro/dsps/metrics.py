@@ -203,6 +203,24 @@ class MetricsHub:
         #: exhausted or aborted).  NOT window-gated: the checker's
         #: conservation invariant needs every give-up ever recorded.
         self.messages_abandoned = 0
+        #: envelopes discarded by a shed policy (flow control on, no
+        #: reliability): refused newcomers plus evicted victims.  NOT
+        #: window-gated — ``shed_conservation`` needs the full count.
+        self.messages_shed = 0
+        #: per-site breakdown of ``messages_shed``
+        self.shed_by_queue: Dict[str, int] = defaultdict(int)
+        #: reliable emits deferred (nacked back to the spout) because the
+        #: transfer queue was full; each retry that still finds the queue
+        #: full counts again.  NOT window-gated.
+        self.messages_deferred = 0
+        # --- overload observability gauges (flow layer) ---------------
+        #: high-water mark of the acker's in-flight tuple-tree count
+        self.acker_pending_hwm = 0
+        #: per-queue depth high-water marks observed by the flow layer
+        self.queue_depth_hwm: Dict[str, int] = defaultdict(int)
+        #: cumulative seconds each spout spent stalled on credits or the
+        #: admission gate
+        self.credit_stall_s: Dict[str, float] = defaultdict(float)
         self._window: Optional[Tuple[float, Optional[float]]] = None
         #: callbacks that realize lazily-batched work (batched-dispatch
         #: executors register here); run by :meth:`flush` so window
@@ -280,6 +298,26 @@ class MetricsHub:
     def on_abandoned(self) -> None:
         """The replay coordinator gave up on (or aborted) a tuple tree."""
         self.messages_abandoned += 1
+
+    def on_shed(self, where: str) -> None:
+        """A shed policy discarded an envelope at ``where``."""
+        self.messages_shed += 1
+        self.shed_by_queue[where] += 1
+
+    def on_deferred(self) -> None:
+        """A reliable emit was nacked back to its spout (queue full)."""
+        self.messages_deferred += 1
+
+    def note_acker_pending(self, pending: int) -> None:
+        if pending > self.acker_pending_hwm:
+            self.acker_pending_hwm = pending
+
+    def note_queue_depth(self, where: str, depth: int) -> None:
+        if depth > self.queue_depth_hwm[where]:
+            self.queue_depth_hwm[where] = depth
+
+    def add_credit_stall(self, operator: str, stalled_s: float) -> None:
+        self.credit_stall_s[operator] += stalled_s
 
     def on_sink_latency(self, operator: str, latency_s: float) -> None:
         if self.in_window:

@@ -219,6 +219,16 @@ class ReplayCoordinator:
         self._aborted_roots: Set[int] = set()
         #: root -> last commit/abort notice instant (for sweep retries).
         self._notice_sent_at: Dict[int, float] = {}
+        #: opportunistic cross-sender notice batching: roots settling at
+        #: the same instant — even via different senders' commit pumps —
+        #: share one notice per machine.  Settable to ``False`` for
+        #: differential tests of the unbatched path.
+        self._notice_batching = True
+        self._commit_notice_buffer: List[int] = []
+        self._abort_notice_buffer: List[int] = []
+        self._notice_flush_scheduled = False
+        #: Commit/Abort control messages actually sent (batching metric).
+        self.notice_messages = 0
         self.commits = 0
         self.aborts = 0
         #: commit buffer entries dropped on inqueue overflow (excused).
@@ -264,6 +274,7 @@ class ReplayCoordinator:
         self._epoch_roots[self._epoch].append(root)
         self._epoch_open[self._epoch] += 1
         self.registered += 1
+        self.system.metrics.note_acker_pending(len(self._pending))
         tasks = list(env.dst_tasks)
         if self.mode == "atomic":
             sender = executor.task_id
@@ -509,7 +520,7 @@ class ReplayCoordinator:
             nxt += 1
         self._commit_next[sender] = nxt
         if committed_roots:
-            self._broadcast_notice(committed_roots, commit=True)
+            self._queue_notice(committed_roots, commit=True)
 
     def _commit_tree(self, tree_id: int, seq: int) -> int:
         record = self._pending.pop(tree_id)
@@ -568,8 +579,33 @@ class ReplayCoordinator:
                 attempts=record.attempts - 1,
             )
         if self._held.get(root):
-            self._broadcast_notice([root], commit=False)
+            self._queue_notice([root], commit=False)
         self._pump_commits(record.sender)
+
+    def _queue_notice(self, roots: List[int], commit: bool) -> None:
+        """Buffer notices and flush them in one same-instant callback, so
+        roots settling at the same instant via *different senders'*
+        commit pumps still share one notice per machine.  With batching
+        disabled, notices go out immediately (one batch per pump)."""
+        if not self._notice_batching:
+            self._broadcast_notice(roots, commit)
+            return
+        buffer = (
+            self._commit_notice_buffer if commit else self._abort_notice_buffer
+        )
+        buffer.extend(roots)
+        if not self._notice_flush_scheduled:
+            self._notice_flush_scheduled = True
+            self.sim.schedule_call(0.0, self._flush_notices)
+
+    def _flush_notices(self) -> None:
+        self._notice_flush_scheduled = False
+        commits, self._commit_notice_buffer = self._commit_notice_buffer, []
+        aborts, self._abort_notice_buffer = self._abort_notice_buffer, []
+        if commits:
+            self._broadcast_notice(commits, commit=True)
+        if aborts:
+            self._broadcast_notice(aborts, commit=False)
 
     def _broadcast_notice(self, roots: List[int], commit: bool) -> None:
         """Send one Commit/AbortMessage per destination machine holding a
@@ -586,6 +622,7 @@ class ReplayCoordinator:
             if self.system.machine_is_crashed(machine):
                 continue  # its buffers died with it (purged on crash)
             payload = payload_cls(roots=tuple(sorted(set(machine_roots))))
+            self.notice_messages += 1
             self.sim.process(self._send_notice(machine, payload))
 
     def _send_notice(self, machine: int, payload):
@@ -772,6 +809,17 @@ class ReplayCoordinator:
             # by the same sweep spread over [backoff, 2*backoff) instead
             # of replaying in lockstep.
             backoff *= 1.0 + float(self._rng.uniform(0.0, 1.0))
+        flow = self.system.flow
+        if flow is not None:
+            # Replay-storm control: claim a token from the global budget
+            # and widen the backoff under measured congestion.
+            token_delay, congestion = flow.replay_gate()
+            if congestion > 0:
+                backoff *= (
+                    self.config.congestion_backoff_factor
+                    ** min(congestion, 4)
+                )
+            backoff += token_delay
         self.replays += 1
         if tracer is not None:
             tracer.emit(
@@ -843,6 +891,11 @@ class ReplayCoordinator:
 
     def _settle_epoch(self, epoch: int) -> None:
         self._epoch_open[epoch] -= 1
+        flow = self.system.flow
+        if flow is not None:
+            # Every settle path funnels through here: the admission gate
+            # re-checks the pending count the moment it can shrink.
+            flow.on_pending_change()
         self._try_commit_epochs()
 
     def _try_commit_epochs(self) -> None:

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional
 from repro.dsps.comm import CommEngine, MulticastService
 from repro.dsps.config import SystemConfig
 from repro.dsps.executor import BoltExecutor, ExecutorBase, SpoutExecutor
+from repro.dsps.flow import FlowController
 from repro.dsps.metrics import MetricsHub
 from repro.dsps.reliability import ReplayCoordinator
 from repro.dsps.scheduler import Placement, schedule
@@ -140,6 +141,13 @@ class DspsSystem:
             ReplayCoordinator(self) if config.reliability_enabled else None
         )
 
+        # --- overload protection -------------------------------------------
+        self.flow: Optional[FlowController] = (
+            FlowController(self) if config.flow else None
+        )
+        #: arrival-rate multiplier applied to every spout (flash crowds)
+        self.load_factor = 1.0
+
         # --- fault injection -----------------------------------------------
         self._crashed: set = set()
         self.crash_count = 0
@@ -229,6 +237,8 @@ class DspsSystem:
                 ex.halt()
         if self.reliability is not None:
             self.reliability.on_machine_crash(machine_id)
+        if self.flow is not None:
+            self.flow.on_machine_crash(machine_id)
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit("fault.crash", self.sim.now, machine=machine_id)
@@ -249,6 +259,34 @@ class DspsSystem:
             tracer.emit("fault.recover", self.sim.now, machine=machine_id)
 
     # ------------------------------------------------------------------
+    # overload events (flash crowds, gray failures)
+    # ------------------------------------------------------------------
+    def begin_flash_crowd(self, magnitude: float) -> None:
+        """Multiply every spout's arrival rate by ``magnitude``."""
+        if magnitude <= 0:
+            raise ValueError("flash-crowd magnitude must be positive")
+        self.load_factor = magnitude
+
+    def end_flash_crowd(self) -> None:
+        self.load_factor = 1.0
+
+    def begin_slow_node(self, machine_id: int, magnitude: float) -> None:
+        """Gray failure: inflate service times of every executor on one
+        machine by ``magnitude`` (the machine stays up and acking)."""
+        if magnitude <= 0:
+            raise ValueError("slow-node magnitude must be positive")
+        if machine_id not in self.workers:
+            raise KeyError(f"unknown machine {machine_id}")
+        for ex in self.executors.values():
+            if ex.machine_id == machine_id:
+                ex.service_scale = magnitude
+
+    def end_slow_node(self, machine_id: int) -> None:
+        for ex in self.executors.values():
+            if ex.machine_id == machine_id:
+                ex.service_scale = 1.0
+
+    # ------------------------------------------------------------------
     def start(self) -> None:
         """Launch every worker and executor process."""
         if self._started:
@@ -260,6 +298,8 @@ class DspsSystem:
             ex.start()
         if self.reliability is not None:
             self.reliability.start()
+        if self.flow is not None:
+            self.flow.start()
         if self.fault_injector is not None:
             self.fault_injector.start()
 

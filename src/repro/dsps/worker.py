@@ -103,6 +103,10 @@ class Worker:
                 machine=self.machine_id,
             )
         executor.accept(at)
+        flow = self.system.flow
+        if flow is not None:
+            # Return the sender's credit reservation for this copy.
+            flow.on_dispatch(executor)
 
     # ------------------------------------------------------------------
     def _receive_loop(self):

@@ -6,6 +6,7 @@ Subcommands::
     status [--store PATH]
     verify [--smoke | --full] [--store PATH]
     perf   [--baseline PATH] [--current PATH] [--max-regression F]
+           [--append-history PATH]
     list
 
 ``run`` schedules every selected experiment point across a process pool,
@@ -168,7 +169,25 @@ def _cmd_perf(args) -> int:
         f"({args.baseline}), current {cur_pps:.3f} points/s "
         f"({args.current}) — {ratio:.2f}x, floor {floor:.3f}"
     )
-    if cur_pps < floor:
+    ok = cur_pps >= floor
+    if args.append_history:
+        points = current.get("points")
+        entry = {
+            "schema": "repro.exp.perf-history/1",
+            "code_version": current.get("code_version"),
+            "created_at": current.get("created_at"),
+            "points": points.get("total") if isinstance(points, dict)
+            else points,
+            "points_per_s": cur_pps,
+            "wall_clock_s": current.get("wall_clock_s"),
+            "baseline_points_per_s": base_pps,
+            "ratio": round(ratio, 3),
+            "gate": "ok" if ok else "fail",
+        }
+        with open(args.append_history, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        print(f"perf gate: appended history point to {args.append_history}")
+    if not ok:
         print(
             f"perf gate: FAIL — suite throughput regressed more than "
             f"{100 * args.max_regression:.0f}% vs the committed baseline",
@@ -268,6 +287,11 @@ def build_parser() -> argparse.ArgumentParser:
     perf_p.add_argument(
         "--max-regression", type=float, default=0.30,
         help="tolerated fractional points/s drop (default: 0.30)"
+    )
+    perf_p.add_argument(
+        "--append-history", metavar="PATH", default=None,
+        help="append the measured points/s as one JSONL record "
+        "(e.g. benchmarks/BENCH_history.jsonl)"
     )
     perf_p.set_defaults(fn=_cmd_perf)
 

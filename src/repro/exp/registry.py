@@ -324,6 +324,19 @@ SPECS: Tuple[ExperimentSpec, ...] = (
         seed=42,
         timeout_s=180.0,
     ),
+    ExperimentSpec(
+        name="ablation_overload",
+        fn_ref=f"{_FAULTS}:ablation_overload",
+        category="ablation",
+        smoke_fixed={
+            "duration_s": 0.5,
+            "parallelism": 12,
+            "n_machines": 6,
+            "offered_rate": 150.0,
+        },
+        seed=42,
+        timeout_s=240.0,
+    ),
 )
 
 REGISTRY: Dict[str, ExperimentSpec] = {spec.name: spec for spec in SPECS}

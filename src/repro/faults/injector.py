@@ -27,6 +27,7 @@ class FaultInjector:
         self.crashes_applied = 0
         self.recoveries_applied = 0
         self.link_events_applied = 0
+        self.overload_events_applied = 0
         #: (time, kind, target) transitions actually applied.
         self.applied: List[tuple] = []
         self._started = False
@@ -51,6 +52,37 @@ class FaultInjector:
                 self.system.recover_machine(ev.machine)
                 self.recoveries_applied += 1
                 self.applied.append((sim.now, "recover", ev.machine))
+            elif ev.kind == "flash_crowd":
+                self.system.begin_flash_crowd(ev.magnitude)
+                sim.schedule_call(ev.duration, self.system.end_flash_crowd)
+                self.overload_events_applied += 1
+                self.applied.append((sim.now, "flash_crowd", ev.magnitude))
+                tracer = sim.tracer
+                if tracer is not None:
+                    tracer.emit(
+                        "fault.flash_crowd",
+                        sim.now,
+                        magnitude=ev.magnitude,
+                        duration_s=ev.duration,
+                    )
+            elif ev.kind == "slow_node":
+                machine = ev.machine
+                self.system.begin_slow_node(machine, ev.magnitude)
+                sim.schedule_call(
+                    ev.duration,
+                    lambda m=machine: self.system.end_slow_node(m),
+                )
+                self.overload_events_applied += 1
+                self.applied.append((sim.now, "slow_node", machine))
+                tracer = sim.tracer
+                if tracer is not None:
+                    tracer.emit(
+                        "fault.slow_node",
+                        sim.now,
+                        machine=machine,
+                        magnitude=ev.magnitude,
+                        duration_s=ev.duration,
+                    )
             else:
                 a, b = sorted(ev.link)
                 up = ev.kind == "link_up"

@@ -15,27 +15,61 @@ from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 #: fault kinds understood by the injector.
-KINDS = ("crash", "recover", "link_down", "link_up")
+KINDS = (
+    "crash",
+    "recover",
+    "link_down",
+    "link_up",
+    "flash_crowd",
+    "slow_node",
+)
 
 
 @dataclass(frozen=True)
 class FaultEvent:
     """One scheduled fault transition.
 
-    ``machine`` is set for crash/recover events; ``link`` (an unordered
-    machine pair) for link_down/link_up events.
+    ``machine`` is set for crash/recover/slow_node events; ``link`` (an
+    unordered machine pair) for link_down/link_up events.  The overload
+    kinds carry a ``magnitude`` (rate or service-time multiplier > 1) and
+    a ``duration`` — the injector restores normal operation itself, so
+    one event describes the whole episode.
     """
 
     time: float
     kind: str
     machine: Optional[int] = None
     link: Optional[FrozenSet[int]] = None
+    magnitude: Optional[float] = None
+    duration: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.time < 0:
             raise ValueError(f"fault time must be >= 0, got {self.time}")
+        if self.kind in ("flash_crowd", "slow_node"):
+            if self.magnitude is None or self.magnitude <= 1.0:
+                raise ValueError(
+                    f"{self.kind} event needs a magnitude > 1, got "
+                    f"{self.magnitude!r}"
+                )
+            if self.duration is None or self.duration <= 0:
+                raise ValueError(
+                    f"{self.kind} event needs a duration > 0, got "
+                    f"{self.duration!r}"
+                )
+            if self.link is not None:
+                raise ValueError(f"{self.kind} event must not carry a link")
+            if self.kind == "flash_crowd" and self.machine is not None:
+                raise ValueError("flash_crowd events hit every spout")
+            if self.kind == "slow_node" and self.machine is None:
+                raise ValueError("slow_node event needs a machine")
+            return
+        if self.magnitude is not None or self.duration is not None:
+            raise ValueError(
+                f"{self.kind} event must not carry magnitude/duration"
+            )
         if self.kind in ("crash", "recover"):
             if self.machine is None:
                 raise ValueError(f"{self.kind} event needs a machine")
@@ -66,6 +100,29 @@ class FaultEvent:
     def link_up(time: float, a: int, b: int) -> "FaultEvent":
         return FaultEvent(time=time, kind="link_up", link=frozenset((a, b)))
 
+    @staticmethod
+    def flash_crowd(
+        time: float, magnitude: float, duration: float
+    ) -> "FaultEvent":
+        return FaultEvent(
+            time=time,
+            kind="flash_crowd",
+            magnitude=magnitude,
+            duration=duration,
+        )
+
+    @staticmethod
+    def slow_node(
+        time: float, machine: int, magnitude: float, duration: float
+    ) -> "FaultEvent":
+        return FaultEvent(
+            time=time,
+            kind="slow_node",
+            machine=machine,
+            magnitude=magnitude,
+            duration=duration,
+        )
+
 
 class FaultSchedule:
     """A validated, time-ordered fault timeline."""
@@ -79,8 +136,25 @@ class FaultSchedule:
         that is up (same for links) — those hide schedule bugs."""
         down_machines: set = set()
         down_links: set = set()
+        crowd_until = -1.0
+        slow_until: dict = {}
         for ev in self.events:
-            if ev.kind == "crash":
+            if ev.kind == "flash_crowd":
+                if ev.time < crowd_until:
+                    raise ValueError(
+                        f"flash_crowd at t={ev.time} overlaps an earlier "
+                        f"burst ending at t={crowd_until}"
+                    )
+                crowd_until = ev.time + ev.duration
+            elif ev.kind == "slow_node":
+                prior = slow_until.get(ev.machine, -1.0)
+                if ev.time < prior:
+                    raise ValueError(
+                        f"slow_node on machine {ev.machine} at t={ev.time} "
+                        f"overlaps an earlier episode ending at t={prior}"
+                    )
+                slow_until[ev.machine] = ev.time + ev.duration
+            elif ev.kind == "crash":
                 if ev.machine in down_machines:
                     raise ValueError(
                         f"machine {ev.machine} crashed twice without a "
@@ -196,4 +270,55 @@ class FaultSchedule:
             a_id, b_id = sorted(link)
             events.append(FaultEvent.link_down(down_at, a_id, b_id))
             events.append(FaultEvent.link_up(up_at, a_id, b_id))
+        return cls(events)
+
+    @classmethod
+    def random_overload(
+        cls,
+        machines: Sequence[int],
+        horizon_s: float,
+        seed: int,
+        n_bursts: int = 1,
+        n_slow_nodes: int = 0,
+        min_magnitude: float = 2.0,
+        max_magnitude: float = 8.0,
+        min_duration_s: float = 0.1,
+        max_duration_s: float = 0.3,
+    ) -> "FaultSchedule":
+        """Draw a seeded overload timeline (bursts + stragglers).
+
+        Kept separate from :meth:`random` so the crash-schedule draw
+        order — pinned by regression tests — never shifts.  Burst windows
+        are laid out back-to-back-or-later so they cannot overlap; slow
+        nodes pick distinct machines.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        if n_slow_nodes > len(machines):
+            raise ValueError(
+                f"cannot slow {n_slow_nodes} of {len(machines)} machines"
+            )
+        if not 1.0 < min_magnitude <= max_magnitude:
+            raise ValueError("need 1 < min_magnitude <= max_magnitude")
+        if not 0 < min_duration_s <= max_duration_s:
+            raise ValueError("need 0 < min_duration_s <= max_duration_s")
+        rng = np.random.default_rng(seed)
+        events: List[FaultEvent] = []
+        cursor = 0.0
+        for _ in range(n_bursts):
+            start = float(rng.uniform(cursor, max(cursor, horizon_s * 0.8)))
+            magnitude = float(rng.uniform(min_magnitude, max_magnitude))
+            duration = float(rng.uniform(min_duration_s, max_duration_s))
+            events.append(FaultEvent.flash_crowd(start, magnitude, duration))
+            cursor = start + duration
+        if n_slow_nodes:
+            chosen = rng.choice(len(machines), size=n_slow_nodes, replace=False)
+            for idx in chosen:
+                machine = int(machines[int(idx)])
+                start = float(rng.uniform(0.0, horizon_s * 0.8))
+                magnitude = float(rng.uniform(min_magnitude, max_magnitude))
+                duration = float(rng.uniform(min_duration_s, max_duration_s))
+                events.append(
+                    FaultEvent.slow_node(start, machine, magnitude, duration)
+                )
         return cls(events)

@@ -39,6 +39,7 @@ class QueueStats:
     total_wait_time: float
     dequeued: int
     cleared: int = 0
+    shed: int = 0
 
     @property
     def mean_wait(self) -> float:
@@ -76,8 +77,11 @@ class TransferQueue(Store):
         #: items lost to ``clear()`` (machine crash); together with the
         #: other counters this closes the conservation identities checked
         #: by ``repro.check``: offered == accepted + dropped + waiting,
-        #: accepted == dequeued + cleared + level.
+        #: accepted == dequeued + cleared + shed + level.
         self.cleared = 0
+        #: items evicted by a shed policy (``evict``) to make room for a
+        #: newcomer — accepted items that never reached a consumer
+        self.shed = 0
         self._area = 0.0  # integral of length over time
         self._created = sim.now
         self._last_change = sim.now
@@ -144,6 +148,35 @@ class TransferQueue(Store):
             return False, None
         return True, item[1]
 
+    def evict(self, index: int = 0) -> Any:
+        """Remove and return the payload at ``index`` without serving a
+        consumer — the shed policies' victim ejection.
+
+        The evicted item counts as ``shed`` (not ``dequeued``); the freed
+        slot admits the longest-waiting blocked putter, mirroring
+        ``Store._release``.
+        """
+        if not self.items:
+            raise IndexError("evict() from an empty queue")
+        self._integrate()
+        _enq_time, payload = self.items[index]
+        del self.items[index]
+        self.shed += 1
+        if self._putters and len(self.items) < self.capacity:
+            ev, pending = self._putters.popleft()
+            self.items.append(pending)
+            self._on_put(pending)
+            ev.succeed()
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "queue.evict",
+                self.sim.now,
+                queue=self.name,
+                level=len(self.items),
+            )
+        return payload
+
     def clear(self) -> list:
         # Blocked putters' items never passed _on_put; per the Store
         # contract they count as accepted-then-lost, so fold them into
@@ -177,6 +210,7 @@ class TransferQueue(Store):
             total_wait_time=self.total_wait_time,
             dequeued=self.dequeued,
             cleared=self.cleared,
+            shed=self.shed,
         )
 
 

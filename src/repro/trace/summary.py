@@ -76,6 +76,8 @@ class TraceSummary:
     repair_ops: List[Dict[str, Any]] = field(default_factory=list)
     #: delivery-semantics records: ``epoch.*``, ``atomic.*``, ``ack.dedup``.
     delivery: List[Dict[str, Any]] = field(default_factory=list)
+    #: overload-protection records: ``flow.*`` and ``shed.*``.
+    overload: List[Dict[str, Any]] = field(default_factory=list)
 
     def fault_timeline(self) -> List[Tuple[float, str, Any]]:
         """(t, event, target) rows for crash/recovery/suspicion events."""
@@ -87,6 +89,8 @@ class TraceSummary:
                 target = (rec["machine_a"], rec["machine_b"])
             if target is None:
                 target = rec.get("root")
+            if target is None and "magnitude" in rec:
+                target = f"x{rec['magnitude']:g}"
             rows.append((rec.get("t", 0.0), event, target))
         return rows
 
@@ -108,6 +112,7 @@ def summarize(
     faults: List[Dict[str, Any]] = []
     repair_ops: List[Dict[str, Any]] = []
     delivery: List[Dict[str, Any]] = []
+    overload: List[Dict[str, Any]] = []
     t_min, t_max = float("inf"), float("-inf")
     for rec in records:
         t = rec.get("t", 0.0)
@@ -148,6 +153,8 @@ def summarize(
             faults.append(rec)
         elif kind.startswith(("epoch.", "atomic.")) or kind == "ack.dedup":
             delivery.append(rec)
+        elif kind.startswith(("flow.", "shed.")) or kind == "queue.evict":
+            overload.append(rec)
     if t_min > t_max:
         t_min = t_max = 0.0
     summary = TraceSummary(
@@ -162,6 +169,7 @@ def summarize(
         faults=faults,
         repair_ops=repair_ops,
         delivery=delivery,
+        overload=overload,
     )
     summary.complete_spans = [
         s for s in spans.values() if s.multicast_latency is not None
@@ -254,7 +262,7 @@ def render(summary: TraceSummary) -> str:
             f"{op.get('old_parent')} -> {op.get('new_parent')}"
         )
 
-    if summary.faults or summary.repair_ops:
+    if summary.faults or summary.repair_ops or summary.overload:
         lines.append("")
         lines.append(render_faults(summary))
     return "\n".join(lines)
@@ -314,6 +322,26 @@ def render_faults(summary: TraceSummary) -> str:
             parts.append(f"atomic aborts: {kinds['atomic.abort']}")
         if parts:
             lines.append("  delivery: " + "  ".join(parts))
+    if summary.overload:
+        kinds = Counter(rec["kind"] for rec in summary.overload)
+        parts = []
+        shed = kinds.get("shed.drop", 0) + kinds.get("shed.evict", 0)
+        if shed:
+            parts.append(f"shed: {shed}")
+        if kinds.get("flow.defer"):
+            parts.append(f"deferred: {kinds['flow.defer']}")
+        stalls = (
+            kinds.get("flow.credit_stall", 0)
+            + kinds.get("flow.admission_stall", 0)
+        )
+        if stalls:
+            parts.append(f"credit stalls: {stalls}")
+        if kinds.get("flow.replay_throttle"):
+            parts.append(
+                f"replays throttled: {kinds['flow.replay_throttle']}"
+            )
+        if parts:
+            lines.append("  overload: " + "  ".join(parts))
     return "\n".join(lines)
 
 

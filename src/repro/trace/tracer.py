@@ -39,6 +39,8 @@ ALL_CATEGORIES = frozenset(
         "ack",
         "epoch",
         "atomic",
+        "flow",
+        "shed",
         "check",
     }
 )

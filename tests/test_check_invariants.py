@@ -31,6 +31,8 @@ EXPECTED_CATALOG = {
     "no_duplicate_side_effects": "state",
     "group_atomicity": "final",
     "tree_structure": "state",
+    "bounded_queues": "state",
+    "shed_conservation": "state",
     "fabric_conservation": "state",
     "crash_quarantine": "final",
     "suspects_degraded": "final",

@@ -140,6 +140,48 @@ def test_atomic_commits_in_sender_order_under_loss():
     assert len(set(log)) == len(log)
 
 
+def test_notice_batching_preserves_commit_order_and_saves_messages():
+    """Batched commit notices are an optimisation, not a semantic change:
+    the same seeded lossy run must commit the same roots in the same
+    per-sender order with and without batching — batching may only lower
+    the control-message count."""
+    outcomes = {}
+    for batching in (True, False):
+        config = _delivery_config("atomic")
+        system, log = build_checked_system(
+            config,
+            parallelism=6,
+            n_machines=3,
+            n_tuples=60,
+            gap_s=0.002,
+            seed=1,
+            fabric_options=dict(LOSSY),
+            check="strict",
+        )
+        system.reliability._notice_batching = batching
+        system.start()
+        system.sim.run(until=0.3)
+        _drain(system)
+        report = system.checker.finalize()
+        assert report.ok, report.summary()
+        coord = system.reliability
+        assert coord.audit_violations() == []
+        outcomes[batching] = {
+            "log": tuple(log),
+            "commit_order": {
+                sender: tuple(seqs)
+                for sender, seqs in coord.commit_order.items()
+            },
+            "commits": coord.commits,
+            "notices": coord.notice_messages,
+        }
+    batched, unbatched = outcomes[True], outcomes[False]
+    assert batched["commits"] > 0
+    assert batched["commit_order"] == unbatched["commit_order"]
+    assert batched["log"] == unbatched["log"]
+    assert batched["notices"] <= unbatched["notices"]
+
+
 def test_atomic_aborts_whole_groups_on_exhausted_budget():
     schedule = FaultSchedule.single_crash(2, crash_at=0.01, recover_at=5.0)
     config = _delivery_config(

@@ -108,6 +108,29 @@ def _delivery_tables(zero_dups=True, bounded=True):
     return (table,)
 
 
+def _overload_tables(bounded=True, recovered=True, pushed_back=True):
+    table = Table(
+        "Ablation: overload protection",
+        [
+            "delivery", "flow", "goodput tuple/s", "delivered",
+            "inqueue hwm", "credit window", "shed", "deferred", "stall s",
+            "replays", "abandoned",
+        ],
+    )
+    on_hwm = 32 if bounded else 900
+    on_good = 300.0 if recovered else 10.0
+    stall = 0.5 if pushed_back else 0.0
+    shed = 4 if pushed_back else 0
+    for mode, off_good, off_hwm in (
+        ("at_most_once", 150.0, 260),
+        ("at_least_once", 700.0, 1700),
+        ("exactly_once", 700.0, 570),
+    ):
+        table.add(mode, "off", off_good, 120, off_hwm, 0, 0, 0, 0.0, 800, 0)
+        table.add(mode, "on", on_good, 240, on_hwm, 32, shed, shed, stall, 40, 0)
+    return (table,)
+
+
 def _populate_all(store):
     _put(store, "fig13_14", _endtoend_tables(1_000.0, 2_000.0, 3_000.0))
     _put(store, "fig15_16", _endtoend_tables(900.0, 1_800.0, 2_700.0))
@@ -117,6 +140,7 @@ def _populate_all(store):
     _put(store, "fig17_18_21", _structure_tables())
     _put(store, "fig19_20_22", _structure_tables())
     _put(store, "ablation_delivery_semantics", _delivery_tables())
+    _put(store, "ablation_overload", _overload_tables())
 
 
 def test_empty_store_skips_every_claim(tmp_path):
@@ -172,6 +196,21 @@ def test_conforming_results_pass_every_claim(tmp_path):
             "ablation_delivery_semantics",
             _delivery_tables(bounded=False),
             "exactly-once-bounded-overhead",
+        ),
+        (
+            "ablation_overload",
+            _overload_tables(bounded=False),
+            "backpressure-bounded-goodput",
+        ),
+        (
+            "ablation_overload",
+            _overload_tables(recovered=False),
+            "backpressure-bounded-goodput",
+        ),
+        (
+            "ablation_overload",
+            _overload_tables(pushed_back=False),
+            "backpressure-bounded-goodput",
         ),
     ],
 )

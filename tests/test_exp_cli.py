@@ -94,7 +94,7 @@ def test_verify_exit_codes(tmp_path, capsys, monkeypatch):
     _populate_all(store)
     assert main(["verify", "--smoke", "--store", store_dir]) == 0
     out = capsys.readouterr().out
-    assert "8 PASS, 0 FAIL, 0 SKIP" in out
+    assert "9 PASS, 0 FAIL, 0 SKIP" in out
 
     # contradicting data flips the exit code to 1
     _put(store, "fig13_14", _endtoend_tables(3_000.0, 2_000.0, 1_000.0))
@@ -130,6 +130,49 @@ def test_perf_gate_exit_codes(tmp_path, capsys):
         "perf", "--baseline", str(tmp_path / "missing.json"),
         "--current", ok,
     ]) == 2
+
+
+def test_perf_gate_appends_history_records(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"points_per_s": 0.28}))
+    current = tmp_path / "current.json"
+    current.write_text(json.dumps({
+        "points_per_s": 0.30, "points": {"total": 35},
+        "wall_clock_s": 116.0, "code_version": "abc",
+        "created_at": "2026-08-08T00:00:00Z",
+    }))
+    history = tmp_path / "history.jsonl"
+    for _ in range(2):  # append, never truncate
+        assert main([
+            "perf", "--baseline", str(baseline), "--current", str(current),
+            "--append-history", str(history),
+        ]) == 0
+    capsys.readouterr()
+    lines = history.read_text().splitlines()
+    assert len(lines) == 2
+    entry = json.loads(lines[0])
+    assert entry["points_per_s"] == 0.30
+    assert entry["baseline_points_per_s"] == 0.28
+    assert entry["points"] == 35
+    assert entry["gate"] == "ok"
+
+    # a failing gate still records the point, marked as such
+    slow = tmp_path / "slow.json"
+    slow.write_text(json.dumps({"points_per_s": 0.05, "points": 35}))
+    assert main([
+        "perf", "--baseline", str(baseline), "--current", str(slow),
+        "--append-history", str(history),
+    ]) == 1
+    capsys.readouterr()
+    assert json.loads(history.read_text().splitlines()[-1])["gate"] == "fail"
+
+
+def test_repo_history_file_is_committed_and_parses():
+    root = os.path.join(os.path.dirname(__file__), os.pardir)
+    with open(os.path.join(root, "benchmarks", "BENCH_history.jsonl")) as fh:
+        entries = [json.loads(line) for line in fh if line.strip()]
+    assert entries, "history must carry at least the seed point"
+    assert all(e["points_per_s"] > 0 for e in entries)
 
 
 def test_perf_gate_repo_baseline_is_committed_and_sane():

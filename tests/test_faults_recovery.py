@@ -65,6 +65,60 @@ def test_random_schedule_respects_horizon_and_victim_distinctness():
     assert all(0.0 <= e.time <= 1.0 for e in sched)
 
 
+def test_overload_events_validate_their_shape():
+    with pytest.raises(ValueError):  # magnitude must amplify, not shrink
+        FaultEvent.flash_crowd(0.1, magnitude=0.5, duration=0.2)
+    with pytest.raises(ValueError):  # duration must be positive
+        FaultEvent.flash_crowd(0.1, magnitude=4.0, duration=0.0)
+    with pytest.raises(ValueError):  # flash crowds are global, no machine
+        FaultEvent(time=0.1, kind="flash_crowd", machine=2,
+                   magnitude=4.0, duration=0.2)
+    with pytest.raises(ValueError):  # slow_node needs a machine
+        FaultEvent(time=0.1, kind="slow_node", magnitude=2.0, duration=0.2)
+    with pytest.raises(ValueError):  # other kinds reject overload fields
+        FaultEvent(time=0.1, kind="crash", machine=1, magnitude=2.0)
+
+
+def test_schedule_rejects_overlapping_overload_windows():
+    with pytest.raises(ValueError):
+        FaultSchedule([
+            FaultEvent.flash_crowd(0.1, 4.0, 0.3),
+            FaultEvent.flash_crowd(0.2, 4.0, 0.3),  # first still active
+        ])
+    with pytest.raises(ValueError):
+        FaultSchedule([
+            FaultEvent.slow_node(0.1, 2, 2.0, 0.3),
+            FaultEvent.slow_node(0.2, 2, 2.0, 0.3),  # same machine
+        ])
+    # distinct machines may degrade concurrently
+    FaultSchedule([
+        FaultEvent.slow_node(0.1, 2, 2.0, 0.3),
+        FaultEvent.slow_node(0.2, 3, 2.0, 0.3),
+    ])
+
+
+def test_random_overload_is_deterministic_and_well_formed():
+    def build(seed):
+        sched = FaultSchedule.random_overload(
+            list(range(6)), horizon_s=2.0, seed=seed,
+            n_bursts=2, n_slow_nodes=2,
+        )
+        return [
+            (e.time, e.kind, e.machine, e.magnitude, e.duration)
+            for e in sched
+        ]
+
+    assert build(3) == build(3)
+    assert build(3) != build(4)
+    events = build(3)
+    assert sum(1 for e in events if e[1] == "flash_crowd") == 2
+    assert sum(1 for e in events if e[1] == "slow_node") == 2
+    slow_machines = [e[2] for e in events if e[1] == "slow_node"]
+    assert len(set(slow_machines)) == len(slow_machines)
+    for _, kind, _, magnitude, duration in events:
+        assert magnitude > 1.0 and duration > 0.0
+
+
 # ----------------------------------------------------------------------
 # fabric-level crash semantics
 # ----------------------------------------------------------------------
@@ -229,6 +283,29 @@ def test_injector_applies_crash_and_recovery_with_traces():
     assert system.fault_injector.crashes_applied == 1
     kinds = [r["kind"] for r in tracer.records]
     assert "fault.crash" in kinds and "fault.recover" in kinds
+
+
+def test_injector_applies_and_restores_overload_events():
+    tracer = MemoryTracer(categories={"fault"})
+    schedule = FaultSchedule([
+        FaultEvent.flash_crowd(0.02, 6.0, 0.05),
+        FaultEvent.slow_node(0.03, 2, 3.0, 0.05),
+    ])
+    system = _build_system(tracer=tracer, fault_schedule=schedule)
+    system.start()
+    system.sim.run(until=0.04)  # both windows active
+    assert system.load_factor == 6.0
+    slowed = [
+        ex for ex in system.executors.values()
+        if ex.machine_id == 2 and not ex.is_spout
+    ]
+    assert slowed and all(ex.service_scale == 3.0 for ex in slowed)
+    system.sim.run(until=0.2)  # both windows expired
+    assert system.load_factor == 1.0
+    assert all(ex.service_scale == 1.0 for ex in system.executors.values())
+    assert system.fault_injector.overload_events_applied == 2
+    kinds = [r["kind"] for r in tracer.records]
+    assert "fault.flash_crowd" in kinds and "fault.slow_node" in kinds
 
 
 def test_crash_halts_executors_until_recovery():
