@@ -51,6 +51,9 @@ name                        scope  guards against
 ``shed_conservation``       state  shed/deferred messages double- or
                                    un-counted between the flow
                                    controller, metrics, and queues
+``partition_routing``       state  the rebalancer's directory corrupting
+                                   routing (active + parked != placed,
+                                   empty active set, order breakage)
 ``fabric_conservation``     state  message counters drifting (delivered +
                                    dead + lost <= injected)
 ``crash_quarantine``        final  crashed machines whose NIC, worker, or
@@ -432,6 +435,44 @@ def _shed_conservation(ctx: CheckContext) -> None:
             f"metrics.messages_deferred {metrics.messages_deferred} != "
             f"flow.deferred {flow.deferred}"
         )
+
+
+@invariant(
+    "partition_routing",
+    "state",
+    "the rebalancer's routing directory partitions every operator's "
+    "placed tasks into active + parked, never routes to an empty set, "
+    "and preserves placement order",
+)
+def _partition_routing(ctx: CheckContext) -> None:
+    router = getattr(ctx.system, "partition_router", None)
+    if router is None:
+        return
+    placement = ctx.system.placement
+    for operator, placed in placement.tasks_of.items():
+        active = router.active_tasks(operator)
+        parked = router.parked_tasks(operator)
+        if not active:
+            ctx.fail("no routable tasks left", operator=operator)
+            continue
+        active_set, parked_set = set(active), set(parked)
+        if active_set & parked_set:
+            ctx.fail(
+                f"tasks both active and parked: "
+                f"{sorted(active_set & parked_set)}",
+                operator=operator,
+            )
+        if active_set | parked_set != set(placed):
+            ctx.fail(
+                f"active {sorted(active_set)} + parked {sorted(parked_set)} "
+                f"!= placed {sorted(placed)}",
+                operator=operator,
+            )
+        if [t for t in placed if t in active_set] != list(active):
+            ctx.fail(
+                f"active list {active} breaks placement order {placed}",
+                operator=operator,
+            )
 
 
 @invariant(

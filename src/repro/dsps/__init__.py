@@ -23,12 +23,20 @@ Storm it modifies.  It provides:
 from repro.dsps.api import Bolt, Spout, TupleContext
 from repro.dsps.config import SystemConfig
 from repro.dsps.grouping import (
+    STRATEGIES,
     AllGrouping,
+    ConsistentHashGrouping,
     FieldsGrouping,
     Grouping,
+    KeySplitGrouping,
+    LoadAdaptiveGrouping,
+    LocalityAwareGrouping,
     ShuffleGrouping,
+    make_grouping,
+    register_strategy,
 )
 from repro.dsps.metrics import MetricsHub
+from repro.dsps.rebalance import PartitionRouter, Rebalancer
 from repro.dsps.scheduler import Placement
 from repro.dsps.system import DspsSystem
 from repro.dsps.topology import Topology
@@ -39,17 +47,26 @@ __all__ = [
     "AddressedTuple",
     "AllGrouping",
     "Bolt",
+    "ConsistentHashGrouping",
     "DspsSystem",
     "FieldsGrouping",
     "Grouping",
+    "KeySplitGrouping",
+    "LoadAdaptiveGrouping",
+    "LocalityAwareGrouping",
     "MetricsHub",
+    "PartitionRouter",
     "Placement",
+    "Rebalancer",
+    "STRATEGIES",
     "ShuffleGrouping",
     "Spout",
     "StreamTuple",
     "SystemConfig",
     "Topology",
     "TupleContext",
+    "make_grouping",
     "rdma_storm_config",
+    "register_strategy",
     "storm_config",
 ]

@@ -18,7 +18,7 @@ Whale-WOC-RDMA-Nonblock     rdma/read  worker          nonblocking yes
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 from repro.net.costs import CostModel
 from repro.net.rdma import Verb
@@ -131,6 +131,35 @@ class SystemConfig:
     #: watchdog period for the flow layer's lost-wakeup safety net
     flow_poll_interval_s: float = 0.02
 
+    # --- partitioning + runtime rebalancing ---------------------------------
+    #: system-wide partitioning-strategy override: a registry name from
+    #: :data:`repro.dsps.grouping.STRATEGIES` (``"shuffle"``,
+    #: ``"fields"``, ``"consistent_hash"``, ``"key_split"``,
+    #: ``"locality"``, ``"load_adaptive"``).  Applied to every
+    #: non-one-to-many edge (broadcast edges keep their ``all``
+    #: semantics); ``None`` keeps the groupings declared on the topology.
+    partitioning: Optional[str] = None
+    #: constructor kwargs for the ``partitioning`` strategy (e.g.
+    #: ``{"replicas": 3, "hot_threshold": 0.15}`` for ``key_split``)
+    partitioning_params: Optional[Mapping[str, Any]] = None
+    #: runtime rebalancer: periodically migrates partitions off
+    #: overloaded executors by parking them (routing-level rewiring of
+    #: the live task lists) and restoring them once drained.  See
+    #: :mod:`repro.dsps.rebalance`.
+    rebalance: bool = False
+    #: rebalancer scan period (its Delta t)
+    rebalance_interval_s: float = 0.05
+    #: fraction of ``executor_queue_capacity`` at which a task is
+    #: considered overloaded; ``None`` reuses the monitor's
+    #: ``warning_waterline_fraction`` (Section 3.3's l_w rule applied to
+    #: the input queue)
+    rebalance_waterline_fraction: Optional[float] = None
+    #: minimum time between migrations of the same operator
+    rebalance_cooldown_s: float = 0.1
+    #: a parked task is restored when its queue drains below this
+    #: fraction of the migration waterline
+    rebalance_restore_fraction: float = 0.25
+
     # --- failure detection + tree self-healing -----------------------------
     #: heartbeat-based failure detector in the multicast controller
     failure_detection: bool = False
@@ -191,6 +220,32 @@ class SystemConfig:
             raise ValueError("congestion backoff factor must be >= 1")
         if self.flow_poll_interval_s <= 0:
             raise ValueError("flow poll interval must be positive")
+        if self.partitioning is not None:
+            from repro.dsps.grouping import STRATEGIES
+
+            if self.partitioning not in STRATEGIES:
+                raise ValueError(
+                    f"unknown partitioning strategy {self.partitioning!r}; "
+                    f"choices: {sorted(STRATEGIES)}"
+                )
+        if self.partitioning_params and self.partitioning is None:
+            raise ValueError(
+                "partitioning_params given without a partitioning strategy"
+            )
+        if self.rebalance_interval_s <= 0:
+            raise ValueError("rebalance interval must be positive")
+        if self.rebalance_waterline_fraction is not None and not (
+            0 < self.rebalance_waterline_fraction <= 1
+        ):
+            raise ValueError(
+                "rebalance waterline must be a fraction in (0, 1]"
+            )
+        if self.rebalance_cooldown_s < 0:
+            raise ValueError("rebalance cooldown must be >= 0")
+        if not 0 < self.rebalance_restore_fraction < 1:
+            raise ValueError(
+                "rebalance restore fraction must be a fraction in (0, 1)"
+            )
         if self.heartbeat_period_s <= 0:
             raise ValueError("heartbeat period must be positive")
         if self.suspicion_timeout_s <= self.heartbeat_period_s:
@@ -216,6 +271,16 @@ class SystemConfig:
     def warning_waterline(self) -> float:
         """l_w in tuples."""
         return self.warning_waterline_fraction * self.transfer_queue_capacity
+
+    @property
+    def rebalance_waterline(self) -> float:
+        """Input-queue depth (tuples) at which the rebalancer migrates."""
+        fraction = (
+            self.rebalance_waterline_fraction
+            if self.rebalance_waterline_fraction is not None
+            else self.warning_waterline_fraction
+        )
+        return fraction * self.executor_queue_capacity
 
     def with_overrides(self, **kwargs) -> "SystemConfig":
         return replace(self, **kwargs)

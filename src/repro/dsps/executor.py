@@ -76,11 +76,21 @@ class ExecutorBase:
             name=f"{self.operator}[{task_id}].transfer",
         )
         self.collector = _EmitCollector(self)
-        # Per-emitter grouping instances (shuffle keeps per-emitter state).
-        self._groupings = {
-            down.name: (down.inputs[self.operator], system.placement.tasks_of[down.name])
-            for down in system.topology.downstream_of(self.operator)
-        }
+        # Grouping instances are shared per topology edge (Storm's
+        # semantics; shuffle's cursor interleaves across co-emitters),
+        # except placement-aware strategies, whose ``for_emitter`` binds
+        # a per-emitter wrapper.  Task lists are the placement's — or,
+        # when the rebalancer is on, the router's *live* lists for
+        # non-broadcast edges (broadcast always fans over the pristine
+        # placement so multicast membership stays stable).
+        router = system.partition_router
+        self._groupings = {}
+        for down in system.topology.downstream_of(self.operator):
+            grouping = system.edge_grouping(self.operator, down.name)
+            tasks = system.placement.tasks_of[down.name]
+            if router is not None and not grouping.one_to_many:
+                tasks = router.active_tasks(down.name)
+            self._groupings[down.name] = (grouping.for_emitter(self), tasks)
         # EMA of the per-replica send time (the model's t_e), maintained by
         # the sending thread; seeded lazily from the first measurement.
         self.te_estimate: Optional[float] = None

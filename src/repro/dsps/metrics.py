@@ -213,6 +213,11 @@ class MetricsHub:
         #: transfer queue was full; each retry that still finds the queue
         #: full counts again.  NOT window-gated.
         self.messages_deferred = 0
+        #: partitions parked / restored by the runtime rebalancer.  NOT
+        #: window-gated: the ``partition_routing`` invariant and the
+        #: hot-key ablation need every migration ever made.
+        self.partitions_migrated = 0
+        self.partitions_restored = 0
         # --- overload observability gauges (flow layer) ---------------
         #: high-water mark of the acker's in-flight tuple-tree count
         self.acker_pending_hwm = 0
@@ -307,6 +312,14 @@ class MetricsHub:
     def on_deferred(self) -> None:
         """A reliable emit was nacked back to its spout (queue full)."""
         self.messages_deferred += 1
+
+    def on_partition_migrated(self) -> None:
+        """The rebalancer parked one overloaded task."""
+        self.partitions_migrated += 1
+
+    def on_partition_restored(self) -> None:
+        """The rebalancer restored one drained task."""
+        self.partitions_restored += 1
 
     def note_acker_pending(self, pending: int) -> None:
         if pending > self.acker_pending_hwm:

@@ -19,7 +19,9 @@ from repro.dsps.comm import CommEngine, MulticastService
 from repro.dsps.config import SystemConfig
 from repro.dsps.executor import BoltExecutor, ExecutorBase, SpoutExecutor
 from repro.dsps.flow import FlowController
+from repro.dsps.grouping import Grouping, make_grouping
 from repro.dsps.metrics import MetricsHub
+from repro.dsps.rebalance import PartitionRouter, Rebalancer
 from repro.dsps.reliability import ReplayCoordinator
 from repro.dsps.scheduler import Placement, schedule
 from repro.dsps.topology import Topology
@@ -102,6 +104,16 @@ class DspsSystem:
 
         # --- placement + runtime objects -----------------------------------
         self.placement: Placement = schedule(topology, self.cluster)
+        #: per-edge grouping instances for the ``config.partitioning``
+        #: override (shared per edge, mirroring the topology's sharing)
+        self._edge_groupings: Dict[tuple, Grouping] = {}
+        #: live routing directory + migration controller (rebalance mode)
+        self.partition_router: Optional[PartitionRouter] = (
+            PartitionRouter(self) if config.rebalance else None
+        )
+        self.rebalancer: Optional[Rebalancer] = (
+            Rebalancer(self) if config.rebalance else None
+        )
         self.workers: Dict[int, Worker] = {
             m.machine_id: Worker(self, m.machine_id) for m in self.cluster
         }
@@ -179,6 +191,30 @@ class DspsSystem:
     def tracer(self):
         """The tracer attached to this system's simulator (or ``None``)."""
         return self.sim.tracer
+
+    # ------------------------------------------------------------------
+    # partitioning
+    # ------------------------------------------------------------------
+    def edge_grouping(self, src_operator: str, dst_operator: str) -> Grouping:
+        """The grouping routing the ``src -> dst`` edge.
+
+        With ``config.partitioning`` unset this is exactly the instance
+        declared on the topology (so existing modes are untouched).  With
+        it set, every non-one-to-many edge is replaced by one shared
+        registry instance per edge — broadcast edges keep their ``all``
+        semantics (replacing them would change the topology's meaning
+        and break the multicast services built on stable membership).
+        """
+        declared = self.topology.operators[dst_operator].inputs[src_operator]
+        if self.config.partitioning is None or declared.one_to_many:
+            return declared
+        key = (src_operator, dst_operator)
+        grouping = self._edge_groupings.get(key)
+        if grouping is None:
+            params = dict(self.config.partitioning_params or {})
+            grouping = make_grouping(self.config.partitioning, **params)
+            self._edge_groupings[key] = grouping
+        return grouping
 
     def attach_checker(self, mode: str = "strict", **kwargs):
         """Attach a runtime :class:`~repro.check.InvariantChecker`.
@@ -300,6 +336,8 @@ class DspsSystem:
             self.reliability.start()
         if self.flow is not None:
             self.flow.start()
+        if self.rebalancer is not None:
+            self.rebalancer.start()
         if self.fault_injector is not None:
             self.fault_injector.start()
 

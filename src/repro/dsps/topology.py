@@ -14,10 +14,10 @@ operator instance (Storm's ``newInstance`` semantics in Algorithm 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Union
 
 from repro.dsps.api import Bolt, Spout
-from repro.dsps.grouping import Grouping
+from repro.dsps.grouping import Grouping, make_grouping
 
 
 @dataclass
@@ -59,9 +59,13 @@ class Topology:
         name: str,
         factory: Callable[[], Bolt],
         parallelism: int,
-        inputs: Dict[str, Grouping],
+        inputs: Dict[str, Union[Grouping, str]],
         terminal: bool = False,
     ) -> "Topology":
+        """Groupings may be instances or registry names (``"shuffle"``,
+        ``"consistent_hash"``, ...); names are resolved eagerly through
+        :func:`~repro.dsps.grouping.make_grouping` so everything
+        downstream sees real :class:`Grouping` objects."""
         self._check_new(name, parallelism)
         if not inputs:
             raise ValueError(f"bolt {name!r} needs at least one input")
@@ -70,12 +74,16 @@ class Topology:
                 raise ValueError(
                     f"bolt {name!r} references unknown upstream {upstream!r}"
                 )
+        resolved = {
+            up: make_grouping(g) if isinstance(g, str) else g
+            for up, g in inputs.items()
+        }
         self.operators[name] = OperatorSpec(
             name=name,
             kind="bolt",
             factory=factory,
             parallelism=parallelism,
-            inputs=dict(inputs),
+            inputs=resolved,
             terminal=terminal,
         )
         return self

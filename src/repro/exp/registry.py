@@ -139,6 +139,7 @@ def assemble(
 _EXPERIMENTS = "repro.bench.experiments"
 _ABLATIONS = "repro.bench.ablations"
 _FAULTS = "repro.bench.faults"
+_HOTKEY = "repro.bench.hotkey"
 
 SPECS: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec(
@@ -334,6 +335,24 @@ SPECS: Tuple[ExperimentSpec, ...] = (
             "n_machines": 6,
             "offered_rate": 150.0,
         },
+        seed=42,
+        timeout_s=240.0,
+    ),
+    ExperimentSpec(
+        name="ablation_hot_key",
+        fn_ref=f"{_HOTKEY}:ablation_hot_key",
+        category="ablation",
+        sweep_param="strategies",
+        sweep_values=(
+            "fields",
+            "consistent_hash",
+            "locality",
+            "load_adaptive",
+            "key_split",
+            "fields+rebalance",
+        ),
+        smoke_values=("fields", "key_split", "fields+rebalance"),
+        smoke_fixed={"duration_s": 0.3},
         seed=42,
         timeout_s=240.0,
     ),

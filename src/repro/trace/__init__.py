@@ -34,6 +34,9 @@ record kind          emitted by
 ``switch.begin/rewire/end``  dynamic switching; one ``switch.rewire``
                      per applied :class:`~repro.multicast.switching.
                      RewireOp`, stamped at apply time
+``rebalance.migrate/restore``  :class:`repro.dsps.rebalance.Rebalancer`
+                     parking an overloaded task / restoring a drained
+                     one (operator, task, machine, depth, waterline)
 ==================  ====================================================
 
 The tuple lifecycle is reconstructable from the trace alone:

@@ -41,6 +41,7 @@ ALL_CATEGORIES = frozenset(
         "atomic",
         "flow",
         "shed",
+        "rebalance",
         "check",
     }
 )

@@ -33,6 +33,7 @@ EXPECTED_CATALOG = {
     "tree_structure": "state",
     "bounded_queues": "state",
     "shed_conservation": "state",
+    "partition_routing": "state",
     "fabric_conservation": "state",
     "crash_quarantine": "final",
     "suspects_degraded": "final",

@@ -131,6 +131,24 @@ def _overload_tables(bounded=True, recovered=True, pushed_back=True):
     return (table,)
 
 
+def _hot_key_tables(tail_cut=True, goodput_kept=True, migrated=True):
+    table = Table(
+        "Ablation: hot-key partitioning",
+        [
+            "strategy", "goodput tuple/s", "latency p50 ms",
+            "latency p99 ms", "inqueue hwm", "imbalance", "drops",
+            "migrations",
+        ],
+    )
+    split_p99 = 4.0 if tail_cut else 90.0
+    split_good = 5_900.0 if goodput_kept else 3_000.0
+    reb_migrations = 2 if migrated else 0
+    table.add("fields", 5_200.0, 1.7, 100.0, 285, 4.6, 0, 0)
+    table.add("key_split", split_good, 1.5, split_p99, 15, 3.1, 0, 0)
+    table.add("fields+rebalance", 5_800.0, 2.0, 47.0, 97, 4.0, 0, reb_migrations)
+    return (table,)
+
+
 def _populate_all(store):
     _put(store, "fig13_14", _endtoend_tables(1_000.0, 2_000.0, 3_000.0))
     _put(store, "fig15_16", _endtoend_tables(900.0, 1_800.0, 2_700.0))
@@ -141,6 +159,7 @@ def _populate_all(store):
     _put(store, "fig19_20_22", _structure_tables())
     _put(store, "ablation_delivery_semantics", _delivery_tables())
     _put(store, "ablation_overload", _overload_tables())
+    _put(store, "ablation_hot_key", _hot_key_tables())
 
 
 def test_empty_store_skips_every_claim(tmp_path):
@@ -211,6 +230,21 @@ def test_conforming_results_pass_every_claim(tmp_path):
             "ablation_overload",
             _overload_tables(pushed_back=False),
             "backpressure-bounded-goodput",
+        ),
+        (
+            "ablation_hot_key",
+            _hot_key_tables(tail_cut=False),
+            "key-split-bounds-hot-key-latency",
+        ),
+        (
+            "ablation_hot_key",
+            _hot_key_tables(goodput_kept=False),
+            "key-split-bounds-hot-key-latency",
+        ),
+        (
+            "ablation_hot_key",
+            _hot_key_tables(migrated=False),
+            "key-split-bounds-hot-key-latency",
         ),
     ],
 )
