@@ -21,7 +21,7 @@ Storm it modifies.  It provides:
 """
 
 from repro.dsps.api import Bolt, Spout, TupleContext
-from repro.dsps.config import SystemConfig
+from repro.dsps.config import BACKENDS, SystemConfig
 from repro.dsps.grouping import (
     STRATEGIES,
     AllGrouping,
@@ -46,6 +46,7 @@ from repro.dsps.presets import rdma_storm_config, storm_config
 __all__ = [
     "AddressedTuple",
     "AllGrouping",
+    "BACKENDS",
     "Bolt",
     "ConsistentHashGrouping",
     "DspsSystem",

@@ -9,6 +9,16 @@ Performance is simulated (service times come from the cost model /
 ``service_time``), while the *logic* is real Python — bolts genuinely
 join, match, and aggregate, so applications are testable for correctness
 independent of the performance model.
+
+These contracts are **backend-neutral**: the same operator classes run
+under the discrete-event backend (:class:`~repro.dsps.system.DspsSystem`)
+and under the wall-clock asyncio runtime (:mod:`repro.rt`).  Only the
+meaning of ``service_time`` differs — the DES *charges* it to the
+simulated CPU, while the real runtime ignores it (real execution time is
+whatever the Python logic costs).  Operators that should survive on the
+real runtime must keep their emitted values JSON-serializable (the rt
+wire format) and treat :meth:`prepare`/:meth:`close` as their only
+lifecycle hooks.
 """
 
 from __future__ import annotations
@@ -58,6 +68,10 @@ class Spout:
         """Produce ``(values, key, payload_bytes)`` for the next tuple."""
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Teardown hook: the real runtime calls this once at shutdown
+        (simulated runs never tear operators down)."""
+
 
 class Bolt:
     """Stream operator.  Subclasses override :meth:`execute`."""
@@ -74,3 +88,7 @@ class Bolt:
 
     def execute(self, tup: StreamTuple, collector: Collector) -> None:
         """Process ``tup``; emit derived tuples via ``collector``."""
+
+    def close(self) -> None:
+        """Teardown hook: the real runtime calls this once at shutdown
+        (simulated runs never tear operators down)."""

@@ -26,6 +26,11 @@ from repro.net.rdma import Verb
 #: delivery guarantees understood by the reliability layer, weakest first.
 DELIVERY_MODES = ("at_most_once", "at_least_once", "exactly_once", "atomic")
 
+#: execution backends a topology can run on: the discrete-event
+#: simulation (figures/claims) and the wall-clock asyncio runtime
+#: (:mod:`repro.rt`, real sockets).
+BACKENDS = ("sim", "asyncio")
+
 
 @dataclass(frozen=True)
 class SystemConfig:
@@ -160,6 +165,22 @@ class SystemConfig:
     #: fraction of the migration waterline
     rebalance_restore_fraction: float = 0.25
 
+    # --- execution backend ---------------------------------------------------
+    #: which runtime executes the topology: ``"sim"`` (the DES — every
+    #: figure and claim) or ``"asyncio"`` (the :mod:`repro.rt` wall-clock
+    #: runtime: real sockets, real Python execution).  The config object
+    #: is shared — both backends read the same delivery/flow/multicast
+    #: knobs, which is what makes the sim-vs-real differential a fair
+    #: comparison.
+    backend: str = "sim"
+    #: rt framed transport: frames longer than this are rejected by the
+    #: decoder (protects a worker host from a corrupt or hostile length
+    #: prefix)
+    rt_frame_limit_bytes: int = 1 << 20
+    #: rt shutdown: wall-clock budget for draining in-flight tuples after
+    #: the spouts stop
+    rt_drain_timeout_s: float = 5.0
+
     # --- failure detection + tree self-healing -----------------------------
     #: heartbeat-based failure detector in the multicast controller
     failure_detection: bool = False
@@ -246,6 +267,14 @@ class SystemConfig:
             raise ValueError(
                 "rebalance restore fraction must be a fraction in (0, 1)"
             )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choices: {BACKENDS}"
+            )
+        if self.rt_frame_limit_bytes < 64:
+            raise ValueError("rt frame limit must be >= 64 bytes")
+        if self.rt_drain_timeout_s <= 0:
+            raise ValueError("rt drain timeout must be positive")
         if self.heartbeat_period_s <= 0:
             raise ValueError("heartbeat period must be positive")
         if self.suspicion_timeout_s <= self.heartbeat_period_s:

@@ -83,6 +83,21 @@ class Grouping(ABC):
     def import_state(self, state: Any) -> None:
         """Restore state captured by :meth:`export_state`."""
 
+    def spec(self) -> Tuple[Optional[str], Dict[str, Any]]:
+        """``(registry name, constructor kwargs)`` rebuilding an
+        *equivalent* instance via :func:`make_grouping`.
+
+        Execution backends that cannot share one Python object across
+        machines (the real :mod:`repro.rt` runtime) construct one
+        instance per worker host from this spec; on a worker restart the
+        replacement instance is rebuilt from the same spec and the
+        routing state is carried over with :meth:`export_state` /
+        :meth:`import_state`.  Strategies with constructor parameters
+        override this to capture them; unregistered custom groupings
+        return ``(None, {})`` and are shared by reference instead.
+        """
+        return self.strategy_name, {}
+
     def __repr__(self) -> str:
         return type(self).__name__
 
@@ -256,6 +271,9 @@ class ConsistentHashGrouping(Grouping):
         _require_tasks(tasks)
         return [self.owner(_require_key(tup, "consistent_hash"), tasks)]
 
+    def spec(self) -> Tuple[Optional[str], Dict[str, Any]]:
+        return self.strategy_name, {"virtual_nodes": self.virtual_nodes}
+
 
 # ----------------------------------------------------------------------
 # hot-key splitting
@@ -341,6 +359,15 @@ class KeySplitGrouping(Grouping):
             self._counts = dict(counts)
             self._total = int(total)
             self._cursors = dict(cursors)
+
+    def spec(self) -> Tuple[Optional[str], Dict[str, Any]]:
+        return self.strategy_name, {
+            "replicas": self.replicas,
+            "hot_threshold": self.hot_threshold,
+            "min_samples": self.min_samples,
+            "hot_keys": sorted(self.explicit_hot, key=repr) or None,
+            "virtual_nodes": self._ring.virtual_nodes,
+        }
 
 
 # ----------------------------------------------------------------------

@@ -95,6 +95,20 @@ class Topology:
     def bolts(self) -> List[OperatorSpec]:
         return [op for op in self.operators.values() if op.kind == "bolt"]
 
+    def edges(self) -> List[tuple]:
+        """Every ``(src_operator, dst_operator, grouping)`` edge of the
+        DAG, in deterministic declaration order.  This is the wiring
+        view execution backends consume: the DES builds multicast
+        services from it and the :mod:`repro.rt` runtime builds its
+        per-host grouping instances from it."""
+        out: List[tuple] = []
+        for op in self.operators.values():
+            if op.kind != "bolt":
+                continue
+            for upstream, grouping in op.inputs.items():
+                out.append((upstream, op.name, grouping))
+        return out
+
     def downstream_of(self, name: str) -> List[OperatorSpec]:
         """Bolts consuming ``name``'s output stream."""
         return [

@@ -308,6 +308,38 @@ def _check_hot_key_partitioning(
     return ok, details
 
 
+def _check_sim_predicts_real(
+    tables: TablesByExperiment,
+) -> Tuple[bool, List[str]]:
+    from repro.rt.differential import GOODPUT_RATIO_BAND
+
+    low, high = GOODPUT_RATIO_BAND
+    table = tables["ablation_sim_vs_real"][0]
+    conserved_col = _column(table, "conserved")
+    ratio_col = _column(table, "goodput ratio")
+    ok = True
+    details: List[str] = []
+    for row in table.rows:
+        conserved = bool(row[conserved_col])
+        ratio = row[ratio_col]
+        in_band = (
+            isinstance(ratio, (int, float))
+            and math.isfinite(ratio)
+            and low <= ratio <= high
+        )
+        ok = ok and conserved and in_band
+        details.append(
+            f"{row[0]}: executed multiset "
+            f"{'conserved exactly' if conserved else 'NOT CONSERVED'}, "
+            f"real/sim goodput ratio {ratio:.3f} "
+            f"({'within' if in_band else 'OUTSIDE'} [{low}, {high}])"
+        )
+    if not table.rows:
+        ok = False
+        details.append("differential table is empty")
+    return ok, details
+
+
 CLAIMS: Tuple[Claim, ...] = (
     Claim(
         name="throughput-ordering-ridehailing",
@@ -380,6 +412,15 @@ CLAIMS: Tuple[Claim, ...] = (
         "with a lower tail than static fields hashing",
         experiments=("ablation_hot_key",),
         check=_check_hot_key_partitioning,
+    ),
+    Claim(
+        name="sim-predicts-real",
+        description="on the same seeded sub-saturation workloads the "
+        "wall-clock asyncio runtime conserves the DES's executed tuple "
+        "multiset exactly and lands its goodput within the accepted "
+        "band of the simulated goodput",
+        experiments=("ablation_sim_vs_real",),
+        check=_check_sim_predicts_real,
     ),
     Claim(
         name="storm-one-to-many-bottleneck",

@@ -140,6 +140,7 @@ _EXPERIMENTS = "repro.bench.experiments"
 _ABLATIONS = "repro.bench.ablations"
 _FAULTS = "repro.bench.faults"
 _HOTKEY = "repro.bench.hotkey"
+_SIMREAL = "repro.bench.simreal"
 
 SPECS: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec(
@@ -355,6 +356,19 @@ SPECS: Tuple[ExperimentSpec, ...] = (
         smoke_fixed={"duration_s": 0.3},
         seed=42,
         timeout_s=240.0,
+    ),
+    ExperimentSpec(
+        name="ablation_sim_vs_real",
+        fn_ref=f"{_SIMREAL}:ablation_sim_vs_real",
+        category="ablation",
+        sweep_param="topologies",
+        sweep_values=("word_count", "fanout"),
+        fixed={"rate": 400.0, "budget": 240},
+        # the real backend spends actual wall-clock seconds pacing its
+        # spouts; smoke trims the budget, not the topology coverage
+        smoke_fixed={"rate": 400.0, "budget": 60},
+        seed=42,
+        timeout_s=120.0,
     ),
 )
 

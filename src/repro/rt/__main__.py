@@ -1,0 +1,12 @@
+"""Entry point: ``python -m repro.rt {run,diff}``."""
+
+import sys
+
+from repro.rt.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... run | head`
+        sys.stderr.close()
+        sys.exit(0)

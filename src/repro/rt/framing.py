@@ -1,0 +1,103 @@
+"""Length-prefixed framed wire codec for the rt transport.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  The decoder is *incremental*: feed it whatever the
+socket produced — half a prefix, three frames and a tail, one byte at a
+time — and it yields every completed message, buffering the remainder.
+A frame whose declared length exceeds the limit is rejected *before any
+payload is read* (a corrupt or hostile prefix must not make a worker
+host allocate gigabytes), and a payload that is not valid JSON raises
+the same :class:`FrameError` so the connection handler has one failure
+path.
+
+The codec is deliberately synchronous (bytes in, messages out) so it is
+property-testable without an event loop; :mod:`repro.rt.transport` wraps
+it in asyncio streams.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List, Optional
+
+#: struct format of the length prefix (4-byte big-endian unsigned).
+PREFIX = struct.Struct("!I")
+
+#: default frame-size cap; ``SystemConfig.rt_frame_limit_bytes`` overrides.
+DEFAULT_FRAME_LIMIT = 1 << 20
+
+
+class FrameError(ValueError):
+    """A malformed frame: oversized declared length or invalid payload."""
+
+
+def encode_frame(message: Dict[str, Any], limit: int = DEFAULT_FRAME_LIMIT) -> bytes:
+    """Serialize one message to a length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > limit:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds the {limit}-byte limit"
+        )
+    return PREFIX.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    """Parse one frame payload back into a message."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise FrameError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+class FrameDecoder:
+    """Incremental frame decoder (partial-read safe).
+
+    >>> dec = FrameDecoder()
+    >>> data = encode_frame({"type": "hello"}) + encode_frame({"n": 1})
+    >>> [m for chunk in (data[:3], data[3:]) for m in dec.feed(chunk)]
+    [{'type': 'hello'}, {'n': 1}]
+    """
+
+    def __init__(self, limit: int = DEFAULT_FRAME_LIMIT):
+        if limit < 1:
+            raise ValueError("frame limit must be positive")
+        self.limit = limit
+        self._buffer = bytearray()
+        #: declared length of the frame currently being assembled.
+        self._need: Optional[int] = None
+        self.frames_decoded = 0
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Consume ``data``; return every message completed by it."""
+        self._buffer.extend(data)
+        out: List[Dict[str, Any]] = []
+        while True:
+            if self._need is None:
+                if len(self._buffer) < PREFIX.size:
+                    break
+                (self._need,) = PREFIX.unpack_from(self._buffer)
+                del self._buffer[: PREFIX.size]
+                if self._need > self.limit:
+                    raise FrameError(
+                        f"declared frame length {self._need} exceeds the "
+                        f"{self.limit}-byte limit"
+                    )
+            if len(self._buffer) < self._need:
+                break
+            payload = bytes(self._buffer[: self._need])
+            del self._buffer[: self._need]
+            self._need = None
+            out.append(decode_payload(payload))
+            self.frames_decoded += 1
+        return out
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward the next (incomplete) frame."""
+        return len(self._buffer)

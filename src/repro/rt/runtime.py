@@ -1,0 +1,386 @@
+"""Execution backends: one topology API, two runtimes.
+
+:class:`RuntimeBackend` is the abstract contract the differential
+harness and the CLI program against: *run this* :class:`~repro.dsps.
+topology.Topology` *at this offered rate for this budget/duration and
+hand back a* :class:`RunReport`.  Two implementations:
+
+* :class:`SimRuntime` — wraps the existing discrete-event
+  :class:`~repro.dsps.system.DspsSystem` unchanged.  Every figure and
+  claim still runs through this backend; the wrapper only standardizes
+  driving (seeded finite arrival budgets) and reporting.
+* :class:`AsyncRuntime` — the wall-clock asyncio runtime: one
+  :class:`~repro.rt.worker.WorkerHost` per simulated machine, framed
+  TCP between hosts over ephemeral localhost ports, relay-tree
+  one-to-many, receiver-driven credits, and the at-least-once acker.
+  It executes the *same* ``Topology`` objects, resolves groupings
+  through the same strategy registry, and feeds a *stock*
+  :class:`~repro.dsps.metrics.MetricsHub` via the
+  :class:`~repro.rt.bridge.WallClock` — so a :class:`RunReport` means
+  the same thing from either backend.
+
+All hosts live in one OS process on one event loop; the *dataplane* is
+strictly sockets, which keeps hosts process-separable by construction
+(topology factories are closures, so true multi-process would require
+picklable operators — out of scope here and noted in DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from abc import ABC, abstractmethod
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dsps.config import SystemConfig
+from repro.dsps.grouping import Grouping, make_grouping
+from repro.dsps.metrics import MetricsHub
+from repro.dsps.scheduler import Placement, schedule
+from repro.dsps.system import DspsSystem
+from repro.dsps.topology import Topology
+from repro.dsps.tuples import reset_ids
+from repro.net.cluster import Cluster
+from repro.rt.bridge import WallClock
+from repro.rt.topologies import Recorder
+from repro.rt.worker import RtSpoutExecutor, WorkerHost
+from repro.workloads.arrivals import ConstantArrivals, FiniteArrivals
+
+
+def default_cluster() -> Cluster:
+    """The small symmetric cluster both backends default to (4 machines
+    keeps an rt run at 4 sockets-servers while still exercising relay
+    forwarding, which needs >= d*+1 hosts)."""
+    return Cluster(n_machines=4, n_racks=1, cores=4)
+
+
+@dataclass
+class RunReport:
+    """What one backend run produced, in backend-neutral terms."""
+
+    backend: str
+    #: per-operator emit / execute counts from the metrics window.
+    emitted: Dict[str, int]
+    processed: Dict[str, int]
+    #: measurement-window length in the backend's own seconds.
+    window_s: float
+    #: terminal executed multiset ``(operator, repr(values)) -> count``
+    #: (present when the topology carried a Recorder).
+    executed: Optional[Counter] = None
+    #: first/last terminal execution instants (backend time base).
+    first_t: Optional[float] = None
+    last_t: Optional[float] = None
+    #: cumulative seconds spent stalled on credits.
+    credit_stall_s: float = 0.0
+    replays: int = 0
+    abandoned: int = 0
+    #: per-operator sink latency means (seconds), terminal ops only.
+    sink_latency_mean_s: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def executed_total(self) -> int:
+        return sum(self.executed.values()) if self.executed else 0
+
+    @property
+    def span_s(self) -> float:
+        """Active span: first to last terminal execution."""
+        if self.first_t is None or self.last_t is None:
+            return 0.0
+        return self.last_t - self.first_t
+
+    @property
+    def goodput_tps(self) -> float:
+        """Terminal executions per second over the active span (falls
+        back to the window length for degenerate zero-length spans)."""
+        denominator = self.span_s if self.span_s > 0 else self.window_s
+        if denominator <= 0:
+            return 0.0
+        return self.executed_total / denominator
+
+
+class RuntimeBackend(ABC):
+    """One way of executing a :class:`~repro.dsps.topology.Topology`."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self,
+        rate: float,
+        budget: Optional[int] = None,
+        duration_s: Optional[float] = None,
+    ) -> RunReport:
+        """Drive every spout at ``rate`` tuples/s until ``budget`` tuples
+        have been emitted (per spout) or ``duration_s`` elapses, drain,
+        and report."""
+
+
+class SimRuntime(RuntimeBackend):
+    """The discrete-event backend (a thin driver over ``DspsSystem``)."""
+
+    name = "sim"
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: SystemConfig,
+        cluster: Optional[Cluster] = None,
+        seed: int = 0,
+        tracer=None,
+        recorder: Optional[Recorder] = None,
+        drain_slack_s: float = 5.0,
+    ):
+        self.topology = topology
+        self.config = config
+        self.cluster = cluster if cluster is not None else default_cluster()
+        self.seed = seed
+        self.tracer = tracer
+        self.recorder = recorder
+        #: extra simulated seconds after the last arrival for the
+        #: topology to drain (reliability sweeps keep the event queue
+        #: alive, so the DES never drains "naturally" under a timeout).
+        self.drain_slack_s = drain_slack_s
+        self.system: Optional[DspsSystem] = None
+
+    def run(
+        self,
+        rate: float,
+        budget: Optional[int] = None,
+        duration_s: Optional[float] = None,
+    ) -> RunReport:
+        if budget is None and duration_s is None:
+            raise ValueError("need a tuple budget or a duration")
+        reset_ids()
+        arrivals = {}
+        for op in self.topology.spouts():
+            gap = ConstantArrivals(rate)
+            arrivals[op.name] = (
+                FiniteArrivals(gap, budget) if budget is not None else gap
+            )
+        system = DspsSystem(
+            self.topology,
+            self.config,
+            cluster=self.cluster,
+            arrivals=arrivals,
+            seed=self.seed,
+            tracer=self.tracer,
+        )
+        self.system = system
+        if self.recorder is not None:
+            self.recorder.clock = system.sim
+        horizon = (
+            duration_s
+            if budget is None
+            else budget / rate + self.drain_slack_s
+        )
+        system.start()
+        system.metrics.open_window()
+        system.sim.run(until=horizon)
+        system.metrics.close_window()
+        metrics = system.metrics
+        return RunReport(
+            backend=self.name,
+            emitted=dict(metrics.emitted),
+            processed=dict(metrics.processed),
+            window_s=metrics.window_duration,
+            executed=(
+                Counter(self.recorder.executed) if self.recorder else None
+            ),
+            first_t=self.recorder.first_t if self.recorder else None,
+            last_t=self.recorder.last_t if self.recorder else None,
+            credit_stall_s=sum(metrics.credit_stall_s.values()),
+            replays=getattr(system.reliability, "replays", 0) or 0,
+            abandoned=metrics.messages_abandoned,
+            sink_latency_mean_s=_sink_means(self.topology, metrics),
+        )
+
+
+class AsyncRuntime(RuntimeBackend):
+    """The wall-clock asyncio backend (real sockets, real execution).
+
+    Exposes the same observable surface as ``DspsSystem`` (``metrics``,
+    ``placement``, ``cluster``, ``executors``, ``edge_grouping``) so the
+    placement-aware groupings bind against it unmodified.  A runtime is
+    one-shot: :meth:`run` builds the hosts, runs, and tears down.  Tests
+    that need mid-run control call :meth:`setup` / :meth:`drive` /
+    :meth:`drain` / :meth:`shutdown` from their own event loop instead.
+    """
+
+    name = "asyncio"
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: SystemConfig,
+        cluster: Optional[Cluster] = None,
+        seed: int = 0,
+        tracer=None,
+        recorder: Optional[Recorder] = None,
+    ):
+        topology.validate()
+        self.topology = topology
+        self.config = config
+        self.cluster = cluster if cluster is not None else default_cluster()
+        self.seed = seed
+        self.tracer = tracer
+        self.recorder = recorder
+        self.clock = WallClock(tracer)
+        self.metrics = MetricsHub(self.clock)
+        self.placement: Placement = schedule(topology, self.cluster)
+        self.hosts: Dict[int, WorkerHost] = {}
+        self.executors: Dict[int, object] = {}
+        self._edge_groupings: Dict[tuple, Grouping] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def edge_grouping(self, src_operator: str, dst_operator: str) -> Grouping:
+        """Prototype grouping for an edge — the same ``partitioning``
+        override semantics as ``DspsSystem.edge_grouping`` (hosts then
+        instantiate per-host copies from its ``spec()``)."""
+        declared = self.topology.operators[dst_operator].inputs[src_operator]
+        if self.config.partitioning is None or declared.one_to_many:
+            return declared
+        key = (src_operator, dst_operator)
+        grouping = self._edge_groupings.get(key)
+        if grouping is None:
+            params = dict(self.config.partitioning_params or {})
+            grouping = make_grouping(self.config.partitioning, **params)
+            self._edge_groupings[key] = grouping
+        return grouping
+
+    @property
+    def spout_executors(self) -> List[RtSpoutExecutor]:
+        return [
+            ex for ex in self.executors.values()
+            if isinstance(ex, RtSpoutExecutor)
+        ]
+
+    # ------------------------------------------------------------------
+    # phased lifecycle (tests drive these directly)
+    # ------------------------------------------------------------------
+    async def setup(self) -> None:
+        """Build hosts, bind listeners, connect the mesh."""
+        if self._started:
+            raise RuntimeError("runtime already started")
+        self._started = True
+        reset_ids()
+        if self.recorder is not None:
+            self.recorder.clock = self.clock
+        for machine in self.cluster:
+            host = WorkerHost(self, machine.machine_id)
+            self.hosts[machine.machine_id] = host
+            self.executors.update(host.executors)
+        ports = {}
+        for machine_id, host in sorted(self.hosts.items()):
+            ports[machine_id] = await host.start()
+        for host in self.hosts.values():
+            await host.connect(ports)
+
+    async def drive(
+        self,
+        rate: float,
+        budget: Optional[int] = None,
+        duration_s: Optional[float] = None,
+    ) -> int:
+        """Run every spout's paced emission loop; returns tuples emitted."""
+        results = await asyncio.gather(
+            *(
+                ex.run_paced(rate, budget, duration_s)
+                for ex in self.spout_executors
+            )
+        )
+        return sum(results)
+
+    async def drain(self) -> None:
+        """Wait until in-flight work settles (bounded by
+        ``config.rt_drain_timeout_s``): every host idle and the global
+        processed count stable across consecutive polls."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.rt_drain_timeout_s
+        last = -1
+        stable = 0
+        timed_out = False
+        while True:
+            busy = any(host.busy for host in self.hosts.values())
+            total = sum(ex.processed for ex in self.executors.values())
+            if not busy and total == last:
+                stable += 1
+                if stable >= 3:
+                    break
+            else:
+                stable = 0
+            last = total
+            if loop.time() >= deadline:
+                timed_out = True
+                break
+            await asyncio.sleep(0.02)
+        self.clock.emit("rt.drain", processed=last, timed_out=timed_out)
+
+    async def shutdown(self) -> None:
+        for host in self.hosts.values():
+            await host.stop()
+
+    # ------------------------------------------------------------------
+    async def _run(
+        self, rate: float, budget: Optional[int], duration_s: Optional[float]
+    ) -> RunReport:
+        await self.setup()
+        self.clock.start()
+        self.metrics.open_window()
+        try:
+            await self.drive(rate, budget, duration_s)
+            await self.drain()
+            self.metrics.close_window()
+            return self.report()
+        finally:
+            await self.shutdown()
+
+    def run(
+        self,
+        rate: float,
+        budget: Optional[int] = None,
+        duration_s: Optional[float] = None,
+    ) -> RunReport:
+        if budget is None and duration_s is None:
+            raise ValueError("need a tuple budget or a duration")
+        return asyncio.run(self._run(rate, budget, duration_s))
+
+    def report(self) -> RunReport:
+        metrics = self.metrics
+        return RunReport(
+            backend=self.name,
+            emitted=dict(metrics.emitted),
+            processed=dict(metrics.processed),
+            window_s=metrics.window_duration,
+            executed=(
+                Counter(self.recorder.executed) if self.recorder else None
+            ),
+            first_t=self.recorder.first_t if self.recorder else None,
+            last_t=self.recorder.last_t if self.recorder else None,
+            credit_stall_s=sum(metrics.credit_stall_s.values()),
+            replays=sum(
+                host.acker.replays
+                for host in self.hosts.values()
+                if host.acker is not None
+            ),
+            abandoned=metrics.messages_abandoned,
+            sink_latency_mean_s=_sink_means(self.topology, metrics),
+        )
+
+
+def _sink_means(topology: Topology, metrics: MetricsHub) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for op in topology.bolts():
+        if op.terminal and metrics.sink_latencies[op.name]:
+            summary = metrics.sink_latency_summary(op.name)
+            out[op.name] = summary.mean
+    return out
+
+
+def create_runtime(
+    topology: Topology, config: SystemConfig, **kwargs
+) -> RuntimeBackend:
+    """Build the backend ``config.backend`` names for this topology."""
+    if config.backend == "sim":
+        return SimRuntime(topology, config, **kwargs)
+    return AsyncRuntime(topology, config, **kwargs)

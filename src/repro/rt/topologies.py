@@ -1,0 +1,186 @@
+"""Named example topologies shared by both execution backends.
+
+The differential harness needs workloads whose *logical output* is a
+pure function of emission order — no randomness, no wall-clock reads —
+so that the DES and the asyncio runtime, driving the same spouts for the
+same tuple budget, must produce exactly the same executed multiset.
+Both topologies keep spout parallelism 1 for that reason: a single
+deterministic emission sequence regardless of how arrivals are paced.
+
+* ``word_count`` — SentenceSpout → SplitBolt (shuffle) → CountBolt
+  (fields, terminal).  One-to-one edges; exercises keyed routing and
+  derived tuples.
+* ``fanout`` — TickSpout → MatchBolt (all-grouping, terminal).  The
+  one-to-many shape Whale is about; on the rt backend every emit rides
+  the relay tree.
+
+A :class:`Recorder` passed to :func:`make_topology` is threaded into the
+terminal bolts; it accumulates the executed multiset keyed by
+``(operator, repr(values))`` — deliberately *task-blind*, because
+shuffle assigns work to different tasks on different backends while the
+multiset of executed values must be conserved on both.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.dsps.api import Bolt, Collector, Spout
+from repro.dsps.topology import Topology
+from repro.dsps.tuples import StreamTuple
+
+#: the deterministic corpus ``word_count`` cycles through.
+SENTENCES = (
+    "the whale swims past the reef",
+    "a stream of tuples flows downstream",
+    "workers relay frames across machines",
+    "the reef echoes the stream",
+)
+
+
+class Recorder:
+    """Task-blind executed-multiset accumulator for differential runs.
+
+    ``clock`` is set by the executing runtime (the simulator for the DES
+    backend, the :class:`~repro.rt.bridge.WallClock` for rt); when set,
+    ``first_t``/``last_t`` bracket the terminal executions in that
+    backend's own time base, giving both backends one goodput
+    denominator: executions over the active span.
+    """
+
+    def __init__(self) -> None:
+        self.executed: Counter = Counter()
+        self.clock = None
+        self.first_t: Optional[float] = None
+        self.last_t: Optional[float] = None
+
+    def record(self, operator: str, values: Any) -> None:
+        self.executed[(operator, repr(values))] += 1
+        if self.clock is not None:
+            t = self.clock.now
+            if self.first_t is None:
+                self.first_t = t
+            self.last_t = t
+
+    @property
+    def total(self) -> int:
+        return sum(self.executed.values())
+
+    @property
+    def span_s(self) -> float:
+        """Seconds between the first and last terminal execution."""
+        if self.first_t is None or self.last_t is None:
+            return 0.0
+        return self.last_t - self.first_t
+
+
+class SentenceSpout(Spout):
+    """Emits :data:`SENTENCES` cyclically — emission ``i`` is fixed."""
+
+    def __init__(self) -> None:
+        self._i = 0
+
+    def next_tuple(self) -> Tuple[Any, Optional[Any], int]:
+        sentence = SENTENCES[self._i % len(SENTENCES)]
+        self._i += 1
+        return {"seq": self._i - 1, "text": sentence}, None, 128
+
+    @property
+    def emitted(self) -> int:
+        return self._i
+
+
+class SplitBolt(Bolt):
+    """Splits sentences into words, one derived tuple per word."""
+
+    def execute(self, tup: StreamTuple, collector: Collector) -> None:
+        for word in tup.values["text"].split():
+            collector.emit(
+                "words", {"word": word}, key=word, payload_bytes=32, anchor=tup
+            )
+
+
+class CountBolt(Bolt):
+    """Terminal word counter (per-task partial counts)."""
+
+    def __init__(self, recorder: Optional[Recorder] = None):
+        self.recorder = recorder
+        self.counts: Counter = Counter()
+
+    def execute(self, tup: StreamTuple, collector: Collector) -> None:
+        self.counts[tup.values["word"]] += 1
+        if self.recorder is not None:
+            self.recorder.record("count", tup.values)
+
+
+class TickSpout(Spout):
+    """Emits sequential integer ticks (emission ``i`` is ``{"seq": i}``)."""
+
+    payload_bytes = 64
+
+    def __init__(self) -> None:
+        self._i = 0
+
+    def next_tuple(self) -> Tuple[Any, Optional[Any], int]:
+        values = {"seq": self._i}
+        self._i += 1
+        return values, None, 64
+
+    @property
+    def emitted(self) -> int:
+        return self._i
+
+
+class MatchBolt(Bolt):
+    """Terminal one-to-many consumer: every task sees every tick."""
+
+    def __init__(self, recorder: Optional[Recorder] = None):
+        self.recorder = recorder
+        self.seen = 0
+
+    def execute(self, tup: StreamTuple, collector: Collector) -> None:
+        self.seen += 1
+        if self.recorder is not None:
+            self.recorder.record("match", tup.values)
+
+
+# ----------------------------------------------------------------------
+def _word_count(parallelism: int, recorder: Optional[Recorder]) -> Topology:
+    topo = Topology("word_count")
+    topo.add_spout("sentences", SentenceSpout)
+    topo.add_bolt("split", SplitBolt, parallelism=parallelism,
+                  inputs={"sentences": "shuffle"})
+    topo.add_bolt("count", lambda: CountBolt(recorder),
+                  parallelism=parallelism,
+                  inputs={"split": "fields"}, terminal=True)
+    return topo
+
+
+def _fanout(parallelism: int, recorder: Optional[Recorder]) -> Topology:
+    topo = Topology("fanout")
+    topo.add_spout("ticks", TickSpout)
+    topo.add_bolt("match", lambda: MatchBolt(recorder),
+                  parallelism=parallelism,
+                  inputs={"ticks": "all"}, terminal=True)
+    return topo
+
+
+#: name -> builder(parallelism, recorder).
+TOPOLOGIES: Dict[str, Callable[[int, Optional[Recorder]], Topology]] = {
+    "word_count": _word_count,
+    "fanout": _fanout,
+}
+
+
+def make_topology(
+    name: str, parallelism: int = 4, recorder: Optional[Recorder] = None
+) -> Topology:
+    """Build a named topology (``word_count`` or ``fanout``)."""
+    try:
+        builder = TOPOLOGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; choices: {sorted(TOPOLOGIES)}"
+        ) from None
+    return builder(parallelism, recorder)

@@ -1,0 +1,173 @@
+"""Asyncio transport: framed connections, credit gates, ephemeral
+servers.
+
+This is the thinnest possible wrapper binding the synchronous
+:mod:`repro.rt.framing` codec to asyncio streams, plus the sender side
+of the receiver-driven credit flow control the DES models in
+:mod:`repro.dsps.flow`.  Everything binds ``127.0.0.1`` on an ephemeral
+port (``port 0``): the rt backend never claims a fixed port, so smoke
+runs and CI jobs can overlap freely.
+
+**Credit semantics.**  When ``SystemConfig.flow`` is on, each outbound
+connection carries at most ``credit_window`` unacknowledged *data-plane*
+frames (``data``/``relay``); the receiver returns one ``credit`` grant
+per such frame once it has enqueued the work into its local executor
+queues, so a slow consumer propagates backpressure to the sender instead
+of growing an unbounded socket buffer.  Control frames (``ack``,
+``credit`` itself, ``hello``) never consume credits — exactly the
+data/control split of the simulated fabric.  Stall time spent waiting
+for a credit is reported to the caller so it can feed
+``MetricsHub.add_credit_stall`` — the same accounting the DES keeps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any, AsyncIterator, Awaitable, Callable, Dict, Optional, Tuple
+
+from repro.rt.framing import DEFAULT_FRAME_LIMIT, FrameDecoder, encode_frame
+
+
+class FramedConnection:
+    """One framed, message-oriented TCP connection."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        limit: int = DEFAULT_FRAME_LIMIT,
+    ):
+        self.reader = reader
+        self.writer = writer
+        self.limit = limit
+        self._decoder = FrameDecoder(limit)
+        #: messages decoded but not yet handed out by :meth:`recv`.
+        self._ready: list = []
+        # One frame must hit the socket atomically even when several
+        # executor tasks share the connection.
+        self._send_lock = asyncio.Lock()
+        self.frames_sent = 0
+
+    async def send(self, message: Dict[str, Any]) -> None:
+        frame = encode_frame(message, self.limit)
+        async with self._send_lock:
+            self.writer.write(frame)
+            await self.writer.drain()
+            self.frames_sent += 1
+
+    async def recv(self) -> Optional[Dict[str, Any]]:
+        """The next message, or ``None`` once the peer closed cleanly."""
+        while not self._ready:
+            data = await self.reader.read(65536)
+            if not data:
+                return None
+            self._ready.extend(self._decoder.feed(data))
+        return self._ready.pop(0)
+
+    async def messages(self) -> AsyncIterator[Dict[str, Any]]:
+        """Iterate messages until EOF or connection reset."""
+        while True:
+            try:
+                message = await self.recv()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                return
+            if message is None:
+                return
+            yield message
+
+    @property
+    def frames_received(self) -> int:
+        return self._decoder.frames_decoded
+
+    async def close(self) -> None:
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+async def dial(
+    port: int, limit: int = DEFAULT_FRAME_LIMIT, host: str = "127.0.0.1"
+) -> FramedConnection:
+    """Connect to a worker host's listener."""
+    reader, writer = await asyncio.open_connection(host, port)
+    return FramedConnection(reader, writer, limit)
+
+
+async def serve(
+    handler: Callable[[FramedConnection], Awaitable[None]],
+    limit: int = DEFAULT_FRAME_LIMIT,
+) -> Tuple[asyncio.AbstractServer, int]:
+    """Start a framed server on an ephemeral localhost port.
+
+    ``handler`` is awaited once per inbound connection with a
+    :class:`FramedConnection`; returns ``(server, bound port)``.
+    """
+
+    async def on_connect(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = FramedConnection(reader, writer, limit)
+        try:
+            await handler(conn)
+        except asyncio.CancelledError:
+            # Loop teardown cancels inbound handlers mid-read; the dialer
+            # is gone, so there is nothing left to do but close quietly.
+            pass
+        finally:
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await conn.close()
+
+    server = await asyncio.start_server(on_connect, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    return server, port
+
+
+class CreditGate:
+    """Sender-side credit window for one outbound connection.
+
+    ``window=None`` disables flow control (every acquire is free) —
+    the rt translation of ``SystemConfig.flow = False``.  Otherwise at
+    most ``window`` data frames may be in flight; :meth:`acquire` parks
+    the sender until the receiver grants credit back and returns the
+    seconds it stalled, mirroring the DES's
+    ``metrics.add_credit_stall`` accounting.
+    """
+
+    def __init__(self, window: Optional[int]):
+        if window is not None and window < 1:
+            raise ValueError(f"credit window must be >= 1, got {window}")
+        self.window = window
+        self.in_flight = 0
+        #: high-water mark of concurrently unacknowledged data frames —
+        #: the invariant the transport tests pin (never exceeds window).
+        self.max_in_flight = 0
+        self._has_credit = asyncio.Event()
+        self._has_credit.set()
+
+    async def acquire(self) -> float:
+        """Take one credit, waiting if the window is exhausted; returns
+        the wall-clock seconds spent stalled."""
+        if self.window is None:
+            return 0.0
+        stalled = 0.0
+        loop = asyncio.get_running_loop()
+        while self.in_flight >= self.window:
+            t0 = loop.time()
+            self._has_credit.clear()
+            await self._has_credit.wait()
+            stalled += loop.time() - t0
+        self.in_flight += 1
+        if self.in_flight > self.max_in_flight:
+            self.max_in_flight = self.in_flight
+        return stalled
+
+    def grant(self, n: int = 1) -> None:
+        """The receiver acknowledged ``n`` data frames."""
+        if self.window is None:
+            return
+        self.in_flight = max(0, self.in_flight - n)
+        if self.in_flight < self.window:
+            self._has_credit.set()

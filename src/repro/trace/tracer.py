@@ -43,6 +43,9 @@ ALL_CATEGORIES = frozenset(
         "shed",
         "rebalance",
         "check",
+        # the real asyncio runtime (repro.rt): wall-clock records from the
+        # worker hosts, framed transport, relay path, and acker
+        "rt",
     }
 )
 

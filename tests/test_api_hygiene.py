@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.apps",
     "repro.bench",
+    "repro.rt",
 ]
 
 

@@ -149,6 +149,22 @@ def _hot_key_tables(tail_cut=True, goodput_kept=True, migrated=True):
     return (table,)
 
 
+def _simreal_tables(conserved=True, in_band=True):
+    table = Table(
+        "sim vs real: differential over seeded workloads",
+        [
+            "topology", "conserved", "sim goodput tuple/s",
+            "real goodput tuple/s", "goodput ratio", "sim sink mean ms",
+            "real sink mean ms", "real replays", "real stall s",
+        ],
+    )
+    ratio = 1.02 if in_band else 6.0
+    table.add("word_count", int(conserved), 2_200.0, 2_200.0 * ratio,
+              ratio, 0.2, 0.5, 0, 0.0)
+    table.add("fanout", 1, 1_600.0, 1_590.0, 0.99, 0.1, 0.4, 0, 0.0)
+    return (table,)
+
+
 def _populate_all(store):
     _put(store, "fig13_14", _endtoend_tables(1_000.0, 2_000.0, 3_000.0))
     _put(store, "fig15_16", _endtoend_tables(900.0, 1_800.0, 2_700.0))
@@ -160,6 +176,7 @@ def _populate_all(store):
     _put(store, "ablation_delivery_semantics", _delivery_tables())
     _put(store, "ablation_overload", _overload_tables())
     _put(store, "ablation_hot_key", _hot_key_tables())
+    _put(store, "ablation_sim_vs_real", _simreal_tables())
 
 
 def test_empty_store_skips_every_claim(tmp_path):
@@ -245,6 +262,16 @@ def test_conforming_results_pass_every_claim(tmp_path):
             "ablation_hot_key",
             _hot_key_tables(migrated=False),
             "key-split-bounds-hot-key-latency",
+        ),
+        (
+            "ablation_sim_vs_real",
+            _simreal_tables(conserved=False),
+            "sim-predicts-real",
+        ),
+        (
+            "ablation_sim_vs_real",
+            _simreal_tables(in_band=False),
+            "sim-predicts-real",
         ),
     ],
 )

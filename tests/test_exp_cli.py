@@ -94,7 +94,7 @@ def test_verify_exit_codes(tmp_path, capsys, monkeypatch):
     _populate_all(store)
     assert main(["verify", "--smoke", "--store", store_dir]) == 0
     out = capsys.readouterr().out
-    assert "10 PASS, 0 FAIL, 0 SKIP" in out
+    assert "11 PASS, 0 FAIL, 0 SKIP" in out
 
     # contradicting data flips the exit code to 1
     _put(store, "fig13_14", _endtoend_tables(3_000.0, 2_000.0, 1_000.0))

@@ -40,7 +40,7 @@ def test_registry_covers_every_figure_and_ablation():
         "ablation_dstar", "ablation_queue", "ablation_lossy_network",
         "ablation_rack_uplinks", "ablation_node_failure",
         "ablation_delivery_semantics", "ablation_overload",
-        "ablation_hot_key",
+        "ablation_hot_key", "ablation_sim_vs_real",
     }
 
 
